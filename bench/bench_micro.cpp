@@ -1,0 +1,113 @@
+// E12 — micro-benchmarks of the substrates (google-benchmark).
+//
+// Not a paper experiment: these quantify the cost of the building blocks
+// (INFO-set operations, event queue, routing recompute, full simulation
+// throughput) so that scenario wall-times are explainable.
+#include <benchmark/benchmark.h>
+
+#include "rbcast.h"
+
+namespace {
+
+using namespace rbcast;
+
+void BM_SeqSetInsertSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    util::SeqSet s;
+    for (util::Seq q = 1; q <= static_cast<util::Seq>(state.range(0)); ++q) {
+      s.insert(q);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqSetInsertSequential)->Arg(1000)->Arg(10000);
+
+void BM_SeqSetInsertWithGaps(benchmark::State& state) {
+  for (auto _ : state) {
+    util::SeqSet s;
+    for (util::Seq q = 1; q <= static_cast<util::Seq>(state.range(0)); ++q) {
+      if (q % 7 != 0) s.insert(q);  // persistent fragmentation
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqSetInsertWithGaps)->Arg(1000)->Arg(10000);
+
+void BM_SeqSetMissingFrom(benchmark::State& state) {
+  util::SeqSet mine = util::SeqSet::contiguous(10000);
+  util::SeqSet peer;
+  for (util::Seq q = 1; q <= 10000; ++q) {
+    if (q % 11 != 0) peer.insert(q);
+  }
+  for (auto _ : state) {
+    auto missing = mine.missing_from(peer, 64);
+    benchmark::DoNotOptimize(missing);
+  }
+}
+BENCHMARK(BM_SeqSetMissingFrom);
+
+void BM_SeqSetContains(benchmark::State& state) {
+  util::SeqSet s;
+  for (util::Seq q = 1; q <= 100000; ++q) {
+    if (q % 3 != 0) s.insert(q);
+  }
+  util::Seq probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.contains(probe));
+    probe = probe % 100000 + 1;
+  }
+}
+BENCHMARK(BM_SeqSetContains);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule((i * 7919) % 100000, [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_RoutingRecompute(benchmark::State& state) {
+  topo::ClusteredWanOptions options;
+  options.clusters = static_cast<int>(state.range(0));
+  options.hosts_per_cluster = 4;
+  options.shape = topo::TrunkShape::kRing;
+  options.extra_trunk_fraction = 0.5;
+  const auto wan = make_clustered_wan(options);
+  sim::Simulator simulator;
+  net::Routing routing(
+      simulator, wan.topology, [](LinkId) { return true; }, 0);
+  for (auto _ : state) {
+    routing.recompute_now();
+  }
+  state.counters["servers"] =
+      static_cast<double>(wan.topology.server_count());
+}
+BENCHMARK(BM_RoutingRecompute)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_FullScenarioThroughput(benchmark::State& state) {
+  // Events per second of a complete 3x3 WAN scenario with a live stream.
+  for (auto _ : state) {
+    topo::ClusteredWanOptions wan;
+    wan.clusters = 3;
+    wan.hosts_per_cluster = 3;
+    harness::ScenarioOptions options;
+    options.seed = 12;
+    harness::Experiment e(make_clustered_wan(wan).topology, options);
+    e.start();
+    e.broadcast_stream(20, sim::milliseconds(500), sim::seconds(1));
+    e.run_for(sim::seconds(60));
+    benchmark::DoNotOptimize(e.metrics().counter_prefix_sum("send."));
+  }
+}
+BENCHMARK(BM_FullScenarioThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Multiple-source broadcast (Section 2): two database sites generate
+// updates concurrently, each running its own single-source protocol
+// instance; every host subscribes to both streams over one network
+// endpoint.
+//
+// Demonstrates core::MultiSourceNode: per-stream parent graphs (each
+// rooted at its own source), interleaved delivery, and per-stream
+// exactly-once — all over a WAN with a mid-run trunk outage.
+//
+//   $ ./multi_source
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <memory>
+#include <vector>
+
+#include "rbcast.h"
+
+using namespace rbcast;
+
+int main() {
+  // Two clusters; one update source in each (hosts 0 and 3).
+  topo::ClusteredWanOptions wan_options;
+  wan_options.clusters = 2;
+  wan_options.hosts_per_cluster = 3;
+  const topo::Wan wan = make_clustered_wan(wan_options);
+  const std::vector<HostId> sources{HostId{0}, HostId{3}};
+
+  sim::Simulator simulator;
+  util::RngFactory rngs(7);
+  net::Network network(simulator, wan.topology, net::NetConfig{}, rngs);
+  net::FaultPlan faults(simulator, network);
+
+  const auto all = wan.topology.host_ids();
+  std::vector<std::unique_ptr<core::MultiSourceNode>> nodes;
+  // delivered[host][source] = how many updates of that stream arrived
+  std::vector<std::map<HostId, int>> delivered(all.size());
+
+  for (HostId h : all) {
+    const auto idx = static_cast<std::size_t>(h.value);
+    nodes.push_back(std::make_unique<core::MultiSourceNode>(
+        simulator, network.endpoint(h), sources, all, core::Config{}, rngs,
+        [&delivered, idx](HostId source, util::Seq, const std::string&) {
+          ++delivered[idx][source];
+        }));
+    network.register_host(h, [&nodes, idx](const net::Delivery& d) {
+      nodes[idx]->on_delivery(d);
+    });
+  }
+  for (auto& node : nodes) node->start();
+
+  // Both sites publish an update every second, interleaved; the trunk
+  // between the clusters fails from t=20 to t=40.
+  for (int k = 0; k < 60; ++k) {
+    simulator.at(sim::seconds(1 + k), [&nodes, k] {
+      nodes[0]->broadcast("site-A update " + std::to_string(k));
+      nodes[3]->broadcast("site-B update " + std::to_string(k));
+    });
+  }
+  faults.outage_window(wan.trunks[0], sim::seconds(20), sim::seconds(40));
+
+  simulator.run_until(sim::seconds(180));
+
+  util::Table table({"host", "stream A (h0)", "stream B (h3)",
+                     "parent in A", "parent in B"});
+  bool complete = true;
+  for (HostId h : all) {
+    const auto idx = static_cast<std::size_t>(h.value);
+    const int a = delivered[idx][HostId{0}];
+    const int b = delivered[idx][HostId{3}];
+    complete &= (a == 60 && b == 60);
+    std::ostringstream pa;
+    std::ostringstream pb;
+    pa << nodes[idx]->instance(HostId{0}).parent();
+    pb << nodes[idx]->instance(HostId{3}).parent();
+    table.row()
+        .cell("h" + std::to_string(h.value))
+        .cell(static_cast<std::int64_t>(a))
+        .cell(static_cast<std::int64_t>(b))
+        .cell(pa.str())
+        .cell(pb.str());
+  }
+  table.print(std::cout);
+  std::cout << "\nboth 60-update streams complete at every host, despite "
+               "the 20 s trunk outage: "
+            << (complete ? "YES" : "NO") << "\n"
+            << "(note the two parent columns: each stream maintains its own "
+               "tree,\n rooted at its own source)\n";
+  return complete ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Protocol trace: watch the algorithm work, message by message.
+//
+// Runs the exact Figure 4.1 scenario at debug log level on a three-host
+// triangle and prints an annotated timeline: tree formation, the
+// engineered losses, the source getting cut off, and non-neighbor gap
+// filling completing the stream. Useful for understanding the protocol
+// and as a template for instrumenting your own scenarios.
+//
+//   $ ./protocol_trace 2>trace.log   # timeline on stdout, raw log on stderr
+#include <iostream>
+
+#include "rbcast.h"
+
+using namespace rbcast;
+
+namespace {
+
+void snapshot(harness::Experiment& e, const topo::Figure41& fig,
+              const char* moment) {
+  std::cout << "--- " << moment << " (t="
+            << sim::to_seconds(e.simulator().now()) << "s)\n";
+  for (HostId h : {fig.s, fig.i, fig.j}) {
+    const auto& host = e.host(h);
+    std::cout << "    " << h << "  parent=";
+    if (host.parent().valid()) {
+      std::cout << host.parent();
+    } else {
+      std::cout << "(root)";
+    }
+    std::cout << "  INFO=" << host.info().to_string() << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  const auto fig = topo::make_figure_4_1();
+  harness::ScenarioOptions options;
+  options.seed = 10;
+  options.protocol.parent_timeout = sim::seconds(100000);
+  options.protocol.gapfill_period_far = sim::seconds(2);
+  options.protocol.data_bytes = 64;
+  harness::Experiment e(fig.topology, options);
+  auto& net = e.network();
+
+  std::cout << "Figure 4.1: three single-host clusters s, i, j on an "
+               "expensive triangle\n\n";
+
+  e.start();
+  e.broadcast();
+  e.run_for(sim::seconds(15));
+  snapshot(e, fig, "after warm-up: i and j attached to s, message 1 "
+                   "everywhere");
+
+  // Engineered losses (see DESIGN.md, experiment E10).
+  net.set_link_up(fig.trunk_si, false);
+  e.run_for(sim::milliseconds(1));
+  e.broadcast();
+  e.run_for(sim::milliseconds(59));
+  net.set_link_up(fig.trunk_si, true);
+  net.set_link_up(fig.trunk_sj, false);
+  e.run_for(sim::milliseconds(1));
+  e.broadcast();
+  e.run_for(sim::milliseconds(59));
+  net.set_link_up(fig.trunk_sj, true);
+  e.run_for(sim::milliseconds(1));
+  e.broadcast();
+  e.run_for(sim::milliseconds(60));
+  snapshot(e, fig, "messages 2-4 sent with engineered losses: i missed 2, "
+                   "j missed 3");
+
+  net.set_link_up(e.topology().host(fig.s).access_link, false);
+  std::cout << "*** source s is now cut off from the network ***\n\n";
+
+  e.run_for(sim::seconds(30));
+  snapshot(e, fig, "after 30s of non-neighbor gap filling between i and j");
+
+  const bool complete =
+      e.host(fig.i).info().count() == 4 && e.host(fig.j).info().count() == 4;
+  std::cout << "i and j completed each other's gaps without the source: "
+            << (complete ? "YES" : "NO") << "\n";
+
+  std::cout << "\n=== protocol event timeline ===\n";
+  e.events().dump(std::cout, /*include_deliveries=*/true);
+
+  std::cout << "\n=== final host parent graph (Graphviz) ===\n"
+            << trace::parent_graph_dot(e.host_views(), e.network(),
+                                       e.source());
+  return complete ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Replicated database update propagation — the application that motivated
+// the paper (Section 1): "management of highly available replicated
+// databases ... it is not absolutely essential that updates be installed
+// in remote copies of the database always in the correct order."
+//
+// Every host keeps a replica of a small account database. The source
+// broadcasts commutative updates ("account += delta"); replicas apply them
+// in whatever order they arrive (the protocol deliberately does not
+// enforce ordering — that is its latency advantage). Mid-stream, a
+// partition cuts two clusters off; gap filling repairs them after the
+// partition heals. At the end, every replica must agree exactly.
+//
+// This example wires the protocol layer by hand (no harness) to show the
+// full public API: Network, HostEndpoint, BroadcastHost, FaultPlan.
+//
+//   $ ./replicated_db
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "rbcast.h"
+
+using namespace rbcast;
+
+namespace {
+
+// One replica: account -> balance, applied commutatively.
+struct Replica {
+  std::map<std::string, std::int64_t> accounts;
+  int updates_applied = 0;
+  int out_of_order = 0;  // how many arrived below the highest seq seen
+  util::Seq highest_seen = 0;
+
+  void apply(util::Seq seq, const std::string& body) {
+    const auto colon = body.find(':');
+    accounts[body.substr(0, colon)] +=
+        std::stoll(body.substr(colon + 1));
+    ++updates_applied;
+    if (seq < highest_seen) ++out_of_order;
+    highest_seen = std::max(highest_seen, seq);
+  }
+
+  [[nodiscard]] std::string fingerprint() const {
+    std::ostringstream os;
+    for (const auto& [account, balance] : accounts) {
+      os << account << '=' << balance << ';';
+    }
+    return os.str();
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Three bank branches (clusters), three hosts each, on a WAN ring.
+  topo::ClusteredWanOptions wan_options;
+  wan_options.clusters = 3;
+  wan_options.hosts_per_cluster = 3;
+  wan_options.shape = topo::TrunkShape::kRing;
+  const topo::Wan wan = make_clustered_wan(wan_options);
+
+  sim::Simulator simulator;
+  util::RngFactory rngs(2026);
+  net::Network network(simulator, wan.topology, net::NetConfig{}, rngs);
+  net::FaultPlan faults(simulator, network);
+
+  const auto all_hosts = wan.topology.host_ids();
+  const HostId source{0};
+
+  std::vector<Replica> replicas(all_hosts.size());
+  std::vector<std::unique_ptr<core::BroadcastHost>> hosts;
+  for (HostId h : all_hosts) {
+    auto* replica = &replicas[static_cast<std::size_t>(h.value)];
+    hosts.push_back(std::make_unique<core::BroadcastHost>(
+        simulator, network.endpoint(h), source, all_hosts, core::Config{},
+        rngs.stream("jitter", h.value),
+        [replica](util::Seq seq, const std::string& body) {
+          replica->apply(seq, body);
+        }));
+    network.register_host(h, [&hosts, h](const net::Delivery& d) {
+      hosts[static_cast<std::size_t>(h.value)]->on_delivery(d);
+    });
+  }
+  for (auto& host : hosts) host->start();
+
+  // Workload: 60 updates over 60 s, round-robin across accounts.
+  const char* accounts[] = {"alice", "bob", "carol"};
+  util::Rng workload = rngs.stream("workload");
+  for (int k = 0; k < 60; ++k) {
+    simulator.at(sim::seconds(1 + k), [&, k] {
+      std::ostringstream body;
+      body << accounts[k % 3] << ":+" << workload.uniform_int(1, 100);
+      hosts[0]->broadcast(body.str());
+    });
+  }
+
+  // Fault: 25 s into the run, the two trunks around cluster 0 fail for
+  // 20 s, cutting the source's cluster off mid-stream.
+  faults.partition_window(
+      net::FaultPlan::trunks_incident_to(wan.topology,
+                                         wan.cluster_head_server[0]),
+      sim::seconds(25), sim::seconds(45));
+
+  simulator.run_until(sim::seconds(50));
+  std::cout << "t=50s (5 s after the partition healed):\n";
+  std::size_t caught_up = 0;
+  for (const auto& host : hosts) {
+    if (host->info().count() == hosts[0]->info().count()) ++caught_up;
+  }
+  std::cout << "  replicas already caught up: " << caught_up << "/"
+            << hosts.size() << " (gap filling still running)\n\n";
+
+  // Let the protocol finish repairing, then audit the replicas.
+  simulator.run_until(sim::seconds(180));
+
+  util::Table table({"host", "updates", "out-of-order", "fingerprint"});
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    table.row()
+        .cell("h" + std::to_string(i))
+        .cell(static_cast<std::int64_t>(replicas[i].updates_applied))
+        .cell(static_cast<std::int64_t>(replicas[i].out_of_order))
+        .cell(replicas[i].fingerprint());
+  }
+  table.print(std::cout);
+
+  bool consistent = true;
+  for (const auto& replica : replicas) {
+    consistent &= replica.fingerprint() == replicas[0].fingerprint();
+    consistent &= replica.updates_applied == 60;
+  }
+  std::cout << "\nall replicas consistent after partition + repair: "
+            << (consistent ? "YES" : "NO") << "\n"
+            << "(out-of-order applications are expected and harmless: the "
+               "updates commute)\n";
+  return consistent ? 0 : 1;
+}

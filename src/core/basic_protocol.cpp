@@ -1,0 +1,127 @@
+#include "core/basic_protocol.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rbcast::core {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 24;
+}
+
+std::size_t wire_size(const BasicMessage& m) {
+  if (const auto* data = std::get_if<BasicData>(&m)) {
+    return kHeaderBytes + 8 + data->body.size();
+  }
+  return kHeaderBytes + 8;
+}
+
+const char* kind_of(const BasicMessage& m) {
+  return std::holds_alternative<BasicData>(m) ? "data" : "ack";
+}
+
+BasicSource::BasicSource(sim::Simulator& simulator,
+                         net::HostEndpoint& endpoint,
+                         std::vector<HostId> all_hosts, BasicConfig config,
+                         util::Rng rng)
+    : simulator_(simulator),
+      endpoint_(endpoint),
+      config_(config),
+      rng_(rng) {
+  for (HostId h : all_hosts) {
+    if (h != endpoint_.self()) destinations_.push_back(h);
+  }
+  retransmit_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.retransmit_period, [this] { retransmit_round(); });
+}
+
+void BasicSource::start() {
+  retransmit_task_->start(
+      rng_.uniform_int(0, std::max<sim::Duration>(config_.retransmit_period - 1, 0)));
+}
+
+Seq BasicSource::broadcast(std::string body) {
+  const Seq seq = next_seq_++;
+  auto [it, fresh] = bodies_.emplace(seq, std::move(body));
+  RBCAST_ASSERT(fresh);
+  auto& waiting = unacked_[seq];
+  for (HostId h : destinations_) {
+    waiting.insert(h);
+    endpoint_.send(h, std::any(BasicMessage(BasicData{seq, it->second})),
+                   wire_size(BasicMessage(BasicData{seq, it->second})),
+                   "data");
+    ++counters_.first_sends;
+  }
+  if (waiting.empty()) {  // degenerate single-host network
+    unacked_.erase(seq);
+    bodies_.erase(seq);
+  }
+  return seq;
+}
+
+void BasicSource::on_delivery(const net::Delivery& delivery) {
+  const auto* message = std::any_cast<BasicMessage>(&delivery.payload);
+  RBCAST_ASSERT_MSG(message != nullptr,
+                    "BasicSource received a foreign payload");
+  const auto* ack = std::get_if<BasicAck>(message);
+  if (ack == nullptr) return;  // the source ignores stray data copies
+  ++counters_.acks_received;
+  auto it = unacked_.find(ack->seq);
+  if (it == unacked_.end()) return;
+  it->second.erase(delivery.from);
+  if (it->second.empty()) {
+    unacked_.erase(it);
+    bodies_.erase(ack->seq);  // everyone has it; retransmission state done
+  }
+}
+
+std::size_t BasicSource::pending() const {
+  std::size_t n = 0;
+  for (const auto& [seq, hosts] : unacked_) n += hosts.size();
+  return n;
+}
+
+bool BasicSource::fully_acked(Seq seq) const {
+  return seq < next_seq_ && !unacked_.contains(seq);
+}
+
+void BasicSource::retransmit_round() {
+  std::size_t budget = config_.retransmit_burst;
+  for (const auto& [seq, hosts] : unacked_) {
+    const std::string& body = bodies_.at(seq);
+    for (HostId h : hosts) {
+      if (budget == 0) return;
+      --budget;
+      BasicMessage m{BasicData{seq, body}};
+      endpoint_.send(h, std::any(m), wire_size(m), "data_retx");
+      ++counters_.retransmissions;
+    }
+  }
+}
+
+BasicReceiver::BasicReceiver(net::HostEndpoint& endpoint,
+                             AppDeliverFn app_deliver)
+    : endpoint_(endpoint), app_deliver_(std::move(app_deliver)) {}
+
+void BasicReceiver::on_delivery(const net::Delivery& delivery) {
+  const auto* message = std::any_cast<BasicMessage>(&delivery.payload);
+  RBCAST_ASSERT_MSG(message != nullptr,
+                    "BasicReceiver received a foreign payload");
+  const auto* data = std::get_if<BasicData>(message);
+  if (data == nullptr) return;
+
+  // Acknowledge every copy: an earlier ack may have been lost.
+  BasicMessage ack{BasicAck{data->seq}};
+  endpoint_.send(delivery.from, std::any(ack), wire_size(ack), "ack");
+  ++counters_.acks_sent;
+
+  if (received_.insert(data->seq)) {
+    ++counters_.deliveries;
+    if (app_deliver_) app_deliver_(data->seq, data->body);
+  } else {
+    ++counters_.duplicates;
+  }
+}
+
+}  // namespace rbcast::core

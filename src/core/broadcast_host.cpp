@@ -1,0 +1,435 @@
+#include "core/broadcast_host.h"
+
+#include <algorithm>
+
+#include "core/gap_filling.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace rbcast::core {
+
+BroadcastHost::BroadcastHost(sim::Simulator& simulator,
+                             net::HostEndpoint& endpoint, HostId source,
+                             std::vector<HostId> all_hosts, Config config,
+                             util::Rng rng, AppDeliverFn app_deliver)
+    : simulator_(simulator),
+      endpoint_(endpoint),
+      source_(source),
+      config_(std::move(config)),
+      state_(endpoint.self(), std::move(all_hosts)),
+      rng_(rng),
+      app_deliver_(std::move(app_deliver)) {
+  RBCAST_CHECK_ARG(source.valid(), "invalid source id");
+
+  attach_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.attach_period, [this] { attachment_round(); });
+  info_intra_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.info_period_intra, [this] { info_round_intra(); });
+  info_inter_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.info_period_inter, [this] { info_round_inter(); });
+  gapfill_neighbor_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.gapfill_period_neighbor,
+      [this] { gapfill_round_neighbor(); });
+  gapfill_far_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, config_.gapfill_period_far, [this] { gapfill_round_far(); });
+  // Maintenance must run well inside the shortest timeout it enforces.
+  const sim::Duration maintenance_period = std::max<sim::Duration>(
+      sim::milliseconds(100),
+      std::min(config_.parent_timeout, config_.child_timeout) / 4);
+  maintenance_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator_, maintenance_period, [this] { maintenance_round(); });
+}
+
+void BroadcastHost::start() {
+  // Jitter first activations so hosts do not act in lock-step; each task
+  // starts somewhere inside its own first period.
+  auto phase = [this](sim::Duration period) {
+    return rng_.uniform_int(0, std::max<sim::Duration>(period - 1, 0));
+  };
+  attach_task_->start(phase(config_.attach_period));
+  info_intra_task_->start(phase(config_.info_period_intra));
+  info_inter_task_->start(phase(config_.info_period_inter));
+  gapfill_neighbor_task_->start(phase(config_.gapfill_period_neighbor));
+  gapfill_far_task_->start(phase(config_.gapfill_period_far));
+  maintenance_task_->start(phase(maintenance_task_->period()));
+  last_parent_heard_ = simulator_.now();
+}
+
+Seq BroadcastHost::broadcast(std::string body) {
+  RBCAST_ASSERT_MSG(is_source(), "broadcast() called on a non-source host");
+  const Seq seq = next_seq_++;
+  // "INFO_s ... gets updated every time a new broadcast message is
+  // generated at the source."
+  const bool fresh = state_.record_message(seq, std::move(body));
+  RBCAST_ASSERT(fresh);
+  ++counters_.deliveries;
+  if (observer_ != nullptr) observer_->on_delivered(self(), seq);
+  if (app_deliver_) app_deliver_(seq, *state_.body_of(seq));
+  // "Broadcast is initiated when the source sends a message to its cluster
+  // neighbors" — in parent-graph terms, to its children.
+  for (HostId child : state_.children()) {
+    if (!state_.map(child).contains(seq)) {
+      send_message(child, make_data(seq, *state_.body_of(seq),
+                                    /*gap_fill=*/false));
+      ++counters_.data_forwarded;
+    }
+  }
+  return seq;
+}
+
+void BroadcastHost::on_delivery(const net::Delivery& delivery) {
+  const auto* message = std::any_cast<ProtocolMessage>(&delivery.payload);
+  RBCAST_ASSERT_MSG(message != nullptr,
+                    "BroadcastHost received a foreign payload");
+
+  const HostId from = delivery.from;
+  // "This set can be updated when a message (of any kind ...) is received
+  // from another host j" — the cost-bit rule, unless cluster knowledge is
+  // static or disabled.
+  if (config_.cluster_knowledge == Config::ClusterKnowledge::kDynamic) {
+    state_.update_cluster_from_cost_bit(from, delivery.expensive);
+  }
+  last_heard_[from] = simulator_.now();
+  if (from == state_.parent()) last_parent_heard_ = simulator_.now();
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DataMsg>) {
+          handle_data(from, m);
+        } else if constexpr (std::is_same_v<T, InfoMsg>) {
+          handle_info(from, m);
+        } else if constexpr (std::is_same_v<T, AttachRequest>) {
+          handle_attach_request(from, m);
+        } else if constexpr (std::is_same_v<T, AttachAccept>) {
+          handle_attach_accept(from, m);
+        } else {
+          static_assert(std::is_same_v<T, DetachNotice>);
+          handle_detach(from);
+        }
+      },
+      *message);
+}
+
+// --- data path --------------------------------------------------------
+
+void BroadcastHost::handle_data(HostId from, const DataMsg& m) {
+  // Piggybacked control state (Section 6) is processed like a standalone
+  // INFO message, before any accept/discard decision.
+  if (m.piggyback.has_value()) {
+    handle_info(from, InfoMsg{m.piggyback->first, m.piggyback->second});
+  }
+  // Receiving a data message from j proves j has it.
+  state_.learn_has(from, m.seq);
+
+  if (state_.has_message(m.seq)) {
+    // "A message is also discarded if the recipient host has previously
+    // accepted it."
+    ++counters_.duplicates_discarded;
+    return;
+  }
+  if (is_source()) return;  // the source originates the stream; no gaps
+
+  const bool new_max = m.seq > state_.info().max_seq();
+  if (new_max && from != state_.parent()) {
+    // "a host can accept a message sequence-numbered higher than any it
+    // has received so far, only from its parent. If such a message arrives
+    // from any other host, it is discarded."
+    ++counters_.new_max_rejected;
+    if (observer_ != nullptr) observer_->on_new_max_rejected(self(), from, m.seq);
+    return;
+  }
+  accept_message(m.seq, m.body, new_max, from);
+}
+
+void BroadcastHost::accept_message(Seq seq, const std::string& body,
+                                   bool was_new_max, HostId from) {
+  const bool fresh = state_.record_message(seq, body);
+  RBCAST_ASSERT(fresh);
+  ++counters_.deliveries;
+  if (observer_ != nullptr) observer_->on_delivered(self(), seq);
+  if (app_deliver_) app_deliver_(seq, body);
+
+  if (was_new_max) {
+    // "upon receipt of a broadcast message, a host sends it on to all its
+    // children" (skipping children known to have it already).
+    for (HostId child : state_.children()) {
+      if (child == from) continue;
+      if (state_.map(child).contains(seq)) continue;
+      send_message(child, make_data(seq, body, /*gap_fill=*/false));
+      ++counters_.data_forwarded;
+    }
+  } else {
+    // "When a host receives a gap filling message ..., it forwards it to
+    // all those of its parent graph neighbors (its children and its
+    // parent) that according to its MAP do not have it."
+    for (HostId n : state_.neighbors()) {
+      if (n == from) continue;
+      if (state_.map(n).contains(seq)) continue;
+      send_message(n, make_data(seq, body, /*gap_fill=*/true));
+      ++counters_.gapfills_sent;
+    }
+  }
+}
+
+// --- control path ---------------------------------------------------------
+
+void BroadcastHost::handle_info(HostId from, const InfoMsg& m) {
+  state_.learn_info(from, m.info);
+  state_.learn_parent(from, m.parent);
+  // Reconcile CHILDREN with the sender's own claim. This is what makes the
+  // parent-pointer exchange load-bearing: a lost AttachAccept or a lost
+  // DetachNotice would otherwise leave the two ends disagreeing about the
+  // edge — and a host whose parent does not list it as a child can never
+  // receive new maxima.
+  if (m.parent == self()) {
+    state_.add_child(from);
+  } else {
+    state_.remove_child(from);
+  }
+}
+
+void BroadcastHost::handle_attach_request(HostId from,
+                                          const AttachRequest& m) {
+  state_.learn_info(from, m.info);
+  state_.add_child(from);
+  // The requester will set its parent pointer to us upon our accept.
+  state_.learn_parent(from, self());
+  send_message(from, AttachAccept{state_.info(), state_.parent()});
+
+  // "the parent examines its new child's INFO set and forwards to the
+  // child all those messages that the child is missing and that the
+  // parent has."
+  for (Seq seq :
+       plan_attach_backfill(state_, m.info, config_.attach_backfill_burst)) {
+    send_gapfill(from, seq);
+  }
+}
+
+void BroadcastHost::handle_attach_accept(HostId from, const AttachAccept& m) {
+  state_.learn_info(from, m.info);
+  state_.learn_parent(from, m.parent);
+
+  if (pending_attach_ == from) {
+    simulator_.cancel(attach_timer_);
+    attach_timer_ = sim::EventId{};
+    pending_attach_ = kNoHost;
+
+    const HostId old_parent = state_.parent();
+    state_.set_parent(from);
+    state_.remove_child(from);  // a host cannot be both parent and child
+    last_parent_heard_ = simulator_.now();
+    ++counters_.attaches_completed;
+    if (observer_ != nullptr) observer_->on_attached(self(), from);
+    RBCAST_DEBUG(self() << " attached to " << from);
+
+    // "The old parent, if any, is also notified of the change."
+    if (old_parent.valid() && old_parent != from) {
+      send_message(old_parent, DetachNotice{});
+    }
+  } else if (from != state_.parent()) {
+    // A stale accept from an abandoned attempt: `from` now believes we are
+    // its child. Correct its CHILDREN set.
+    send_message(from, DetachNotice{});
+  }
+}
+
+void BroadcastHost::handle_detach(HostId from) { state_.remove_child(from); }
+
+// --- periodic activities -----------------------------------------------
+
+std::set<HostId> BroadcastHost::current_exclusions() {
+  std::set<HostId> excluded;
+  const sim::TimePoint now = simulator_.now();
+  std::erase_if(failed_candidates_,
+                [now](const auto& kv) { return kv.second <= now; });
+  for (const auto& [host, until] : failed_candidates_) excluded.insert(host);
+  return excluded;
+}
+
+void BroadcastHost::attachment_round() {
+  // "The procedure is run at all hosts but the source."
+  if (is_source()) return;
+  if (pending_attach_.valid()) return;  // handshake already in flight
+
+  const auto excluded = current_exclusions();
+  auto decision =
+      run_attachment(state_, excluded, config_.parent_switch_margin);
+
+  if (decision.action == AttachmentDecision::Action::kBreakCycle) {
+    ++counters_.cycles_broken;
+    if (observer_ != nullptr) observer_->on_cycle_broken(self());
+    RBCAST_INFO(self() << " breaking single-cluster cycle");
+    detach_from_parent(/*notify=*/true, /*timeout=*/false);
+    // "... shall detach from its parent and go through the appropriate
+    // options for finding a new one" — i.e. case I, immediately.
+    decision = run_attachment(state_, excluded, config_.parent_switch_margin);
+  }
+  if (decision.action == AttachmentDecision::Action::kAttach) {
+    RBCAST_DEBUG(self() << " attachment rule " << decision.rule << " -> "
+                        << decision.candidate);
+    ++counters_.attempts_by_rule[decision.rule];
+    begin_attach(decision.candidate, decision.rule);
+  }
+}
+
+void BroadcastHost::begin_attach(HostId candidate, const std::string& rule) {
+  RBCAST_ASSERT(!pending_attach_.valid());
+  pending_attach_ = candidate;
+  ++counters_.attach_attempts;
+  if (observer_ != nullptr) {
+    observer_->on_attach_requested(self(), candidate, rule);
+  }
+  send_message(candidate, AttachRequest{state_.info()});
+  attach_timer_ = simulator_.after(
+      config_.attach_ack_timeout,
+      [this, candidate] { on_attach_timeout(candidate); });
+}
+
+void BroadcastHost::on_attach_timeout(HostId candidate) {
+  if (pending_attach_ != candidate) return;  // accept raced the timer
+  pending_attach_ = kNoHost;
+  attach_timer_ = sim::EventId{};
+  ++counters_.attach_timeouts;
+  if (observer_ != nullptr) observer_->on_attach_timeout(self(), candidate);
+  // "If the acknowledgment to this message times out, the procedure is
+  // repeated to find another candidate with which the given host can
+  // communicate." Exclude the silent one for a few rounds and retry now.
+  failed_candidates_[candidate] =
+      simulator_.now() + 4 * config_.attach_period;
+  attachment_round();
+}
+
+void BroadcastHost::detach_from_parent(bool notify, bool timeout) {
+  const HostId old_parent = state_.parent();
+  state_.set_parent(kNoHost);
+  if (observer_ != nullptr && old_parent.valid()) {
+    observer_->on_detached(self(), old_parent, timeout);
+  }
+  if (notify && old_parent.valid()) {
+    send_message(old_parent, DetachNotice{});
+  }
+}
+
+void BroadcastHost::info_round_intra() {
+  // Frequent exchange with cluster members and parent-graph neighbors.
+  std::set<HostId> recipients(state_.cluster().begin(),
+                              state_.cluster().end());
+  for (HostId n : state_.neighbors()) recipients.insert(n);
+  recipients.erase(self());
+  const InfoMsg msg{state_.info(), state_.parent()};
+  for (HostId j : recipients) send_message(j, msg);
+}
+
+void BroadcastHost::info_round_inter() {
+  // Rare exchange with everyone else; this is what lets remote hosts
+  // discover who is ahead (attachment options I.3/II.3) and what feeds
+  // non-neighbor gap filling.
+  std::set<HostId> skip(state_.cluster().begin(), state_.cluster().end());
+  for (HostId n : state_.neighbors()) skip.insert(n);
+  const InfoMsg msg{state_.info(), state_.parent()};
+  for (HostId j : state_.all_hosts()) {
+    if (j == self() || skip.contains(j)) continue;
+    send_message(j, msg);
+  }
+}
+
+void BroadcastHost::gapfill_round_neighbor() {
+  for (HostId n : state_.neighbors()) {
+    if (!state_.in_cluster(n)) continue;  // out-of-cluster peers: far round
+    const auto plan = plan_neighbor_gapfill(state_, n, state_.is_child(n),
+                                            config_.gapfill_burst);
+    for (Seq seq : plan) send_gapfill(n, seq);
+  }
+}
+
+void BroadcastHost::gapfill_round_far() {
+  // Out-of-cluster parent-graph neighbors fill at this lower rate ("less
+  // frequently for the members of different clusters"). They are filled
+  // every round: a child depends on *us* for new maxima, so nobody else
+  // can do this job.
+  for (HostId n : state_.neighbors()) {
+    if (state_.in_cluster(n)) continue;
+    const auto plan = plan_neighbor_gapfill(state_, n, state_.is_child(n),
+                                            config_.gapfill_burst);
+    for (Seq seq : plan) send_gapfill(n, seq);
+  }
+  if (!config_.nonneighbor_gapfill) return;
+
+  // Non-neighbors (the Section 4.4 extension): any up-to-date host can
+  // fill them, so each host serves only a small random subset per round —
+  // see Config::far_fill_targets for why.
+  std::set<HostId> neighbor_set;
+  for (HostId n : state_.neighbors()) neighbor_set.insert(n);
+  std::vector<HostId> behind;
+  for (HostId j : state_.all_hosts()) {
+    if (j == self() || neighbor_set.contains(j)) continue;
+    if (!plan_far_gapfill(state_, j, 1).empty()) behind.push_back(j);
+  }
+  std::size_t budget = std::min(config_.far_fill_targets, behind.size());
+  while (budget-- > 0 && !behind.empty()) {
+    const auto pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(behind.size()) - 1));
+    const HostId j = behind[pick];
+    behind.erase(behind.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto plan = plan_far_gapfill(state_, j, config_.gapfill_burst);
+    for (Seq seq : plan) send_gapfill(j, seq);
+  }
+}
+
+void BroadcastHost::maintenance_round() {
+  const sim::TimePoint now = simulator_.now();
+
+  // Parent liveness: "time out on a parent that fails to send messages
+  // such as the ones containing its INFO set ... the host sets its parent
+  // pointer to NIL" and immediately looks for a new parent.
+  if (state_.parent().valid() &&
+      now - last_parent_heard_ > config_.parent_timeout) {
+    ++counters_.parent_timeouts;
+    RBCAST_INFO(self() << " parent " << state_.parent() << " timed out");
+    detach_from_parent(/*notify=*/false, /*timeout=*/true);
+    attachment_round();
+  }
+
+  // Child liveness (engineering necessity; see Config::child_timeout).
+  std::vector<HostId> stale;
+  for (HostId child : state_.children()) {
+    auto it = last_heard_.find(child);
+    const sim::TimePoint heard = it != last_heard_.end() ? it->second : 0;
+    if (now - heard > config_.child_timeout) stale.push_back(child);
+  }
+  for (HostId child : stale) state_.remove_child(child);
+
+  // Section 6 pruning: discard state for the prefix every host is known to
+  // have.
+  if (config_.enable_pruning) {
+    const Seq safe = state_.safe_prefix();
+    if (safe > state_.info().prune_watermark()) state_.prune(safe);
+  }
+}
+
+// --- send helpers -----------------------------------------------------
+
+void BroadcastHost::send_message(HostId to, ProtocolMessage m) {
+  const std::size_t bytes = wire_size(m);
+  const char* kind = kind_of(m);
+  endpoint_.send(to, std::any(std::move(m)), bytes, kind);
+}
+
+DataMsg BroadcastHost::make_data(Seq seq, const std::string& body,
+                                 bool gap_fill) const {
+  DataMsg m{seq, body, gap_fill, std::nullopt};
+  if (config_.piggyback_info) {
+    m.piggyback = std::make_pair(state_.info(), state_.parent());
+  }
+  return m;
+}
+
+void BroadcastHost::send_gapfill(HostId to, Seq seq) {
+  const std::string* body = state_.body_of(seq);
+  RBCAST_ASSERT(body != nullptr);
+  send_message(to, make_data(seq, *body, /*gap_fill=*/true));
+  ++counters_.gapfills_sent;
+}
+
+}  // namespace rbcast::core

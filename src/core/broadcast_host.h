@@ -1,0 +1,161 @@
+// BroadcastHost — the complete protocol automaton running on one host.
+//
+// Glues the pure pieces (HostState, the attachment procedure, the gap-fill
+// planners) to the simulator (periodic activations, timeouts) and to the
+// network endpoint (the paper's single-destination send + cost-bit
+// delivery). One instance runs per participating host; the instance whose
+// id equals `source` plays the source role (generates the stream, never
+// runs the attachment procedure, is the root of the host parent graph).
+//
+// Delivery semantics offered to the application: every broadcast message is
+// delivered exactly once per host, not necessarily in order — the paper
+// deliberately relaxes ordering to cut delay (Section 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attachment.h"
+#include "core/config.h"
+#include "core/host_state.h"
+#include "core/messages.h"
+#include "core/protocol_observer.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rbcast::core {
+
+class BroadcastHost {
+ public:
+  // Called on first receipt of each data message (unordered delivery).
+  using AppDeliverFn = std::function<void(Seq, const std::string& body)>;
+
+  // `endpoint` must outlive this object. `rng` drives only phase jitter of
+  // the periodic tasks (so hosts do not act in lock-step).
+  BroadcastHost(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+                HostId source, std::vector<HostId> all_hosts, Config config,
+                util::Rng rng, AppDeliverFn app_deliver = {});
+
+  BroadcastHost(const BroadcastHost&) = delete;
+  BroadcastHost& operator=(const BroadcastHost&) = delete;
+
+  // Arms the periodic activities. Call once, after the network knows how
+  // to deliver to this host.
+  void start();
+
+  // Network upcall: a message for this host arrived (with its cost bit).
+  void on_delivery(const net::Delivery& delivery);
+
+  // Source API: appends the next message to the broadcast stream.
+  // Precondition: is_source().
+  Seq broadcast(std::string body);
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] HostId self() const { return state_.self(); }
+  [[nodiscard]] bool is_source() const { return self() == source_; }
+  [[nodiscard]] const HostState& state() const { return state_; }
+  [[nodiscard]] HostId parent() const { return state_.parent(); }
+  [[nodiscard]] const SeqSet& info() const { return state_.info(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Seq last_broadcast_seq() const { return next_seq_ - 1; }
+
+  struct Counters {
+    std::uint64_t attach_attempts{0};
+    // Attach attempts keyed by the rule that proposed them ("I.1".."III.1")
+    // — which options actually fire is itself an experimental observable.
+    std::map<std::string, std::uint64_t> attempts_by_rule;
+    std::uint64_t attach_timeouts{0};
+    std::uint64_t attaches_completed{0};
+    std::uint64_t cycles_broken{0};
+    std::uint64_t parent_timeouts{0};
+    std::uint64_t new_max_rejected{0};  // new maximum offered by a non-parent
+    std::uint64_t duplicates_discarded{0};
+    std::uint64_t data_forwarded{0};
+    std::uint64_t gapfills_sent{0};
+    std::uint64_t deliveries{0};  // first receipts handed to the app
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // Forces the attachment procedure to run now (tests).
+  void run_attachment_now() { attachment_round(); }
+
+  // Seeds CLUSTER_i (static cluster knowledge mode, or "some information
+  // to the contrary" at initialization — Section 4.2). Call before start().
+  void seed_cluster(std::set<HostId> cluster) {
+    state_.set_cluster(std::move(cluster));
+  }
+
+  // Installs a protocol-event observer (nullptr to remove).
+  void set_observer(ProtocolObserver* observer) { observer_ = observer; }
+
+ private:
+  // --- message handlers -----------------------------------------------
+  void handle_data(HostId from, const DataMsg& m);
+  void handle_info(HostId from, const InfoMsg& m);
+  void handle_attach_request(HostId from, const AttachRequest& m);
+  void handle_attach_accept(HostId from, const AttachAccept& m);
+  void handle_detach(HostId from);
+
+  // --- periodic activities ---------------------------------------------
+  void attachment_round();
+  void info_round_intra();
+  void info_round_inter();
+  void gapfill_round_neighbor();
+  void gapfill_round_far();
+  void maintenance_round();  // parent/child timeouts, pruning
+
+  // --- helpers -----------------------------------------------------------
+  void send_message(HostId to, ProtocolMessage m);
+  // Builds a data message (attaching the piggybacked INFO when enabled).
+  [[nodiscard]] DataMsg make_data(Seq seq, const std::string& body,
+                                  bool gap_fill) const;
+  void send_gapfill(HostId to, Seq seq);
+  void begin_attach(HostId candidate, const std::string& rule);
+  void on_attach_timeout(HostId candidate);
+  void detach_from_parent(bool notify, bool timeout);
+  void accept_message(Seq seq, const std::string& body, bool was_new_max,
+                      HostId from);
+  [[nodiscard]] std::set<HostId> current_exclusions();
+
+  sim::Simulator& simulator_;
+  net::HostEndpoint& endpoint_;
+  HostId source_;
+  Config config_;
+  HostState state_;
+  util::Rng rng_;
+  AppDeliverFn app_deliver_;
+  ProtocolObserver* observer_{nullptr};
+
+  Seq next_seq_{1};  // source only: next sequence number to assign
+
+  // Attach handshake in flight.
+  HostId pending_attach_{kNoHost};
+  sim::EventId attach_timer_{};
+
+  // Candidates whose handshake recently timed out, with expiry times.
+  std::unordered_map<HostId, sim::TimePoint> failed_candidates_;
+
+  // Liveness bookkeeping.
+  sim::TimePoint last_parent_heard_{0};
+  std::unordered_map<HostId, sim::TimePoint> last_heard_;
+
+  Counters counters_;
+
+  // Periodic tasks (declared last: they capture `this` and must die first).
+  std::unique_ptr<sim::PeriodicTask> attach_task_;
+  std::unique_ptr<sim::PeriodicTask> info_intra_task_;
+  std::unique_ptr<sim::PeriodicTask> info_inter_task_;
+  std::unique_ptr<sim::PeriodicTask> gapfill_neighbor_task_;
+  std::unique_ptr<sim::PeriodicTask> gapfill_far_task_;
+  std::unique_ptr<sim::PeriodicTask> maintenance_task_;
+};
+
+}  // namespace rbcast::core

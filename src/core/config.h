@@ -1,0 +1,112 @@
+// Tunable parameters of the reliable broadcast protocol.
+//
+// Section 6 of the paper: "these trade-offs are embodied in the frequency
+// with which hosts enact INFO exchange, parent pointer exchange, and gap
+// filling. These can be tuned according to specific cost-reliability
+// requirements." Every such frequency is a field here; the trade-off bench
+// (E7) sweeps them.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+#include "util/seq_set.h"
+
+namespace rbcast::core {
+
+struct Config {
+  // --- periodic activities ----------------------------------------------
+
+  // The attachment procedure is "periodically activated at every host"
+  // (Section 4.2). "This time period is a parameter of the algorithm."
+  sim::Duration attach_period{sim::seconds(2)};
+
+  // INFO set + parent pointer exchange. "This is done more frequently for
+  // the members of the same cluster and less frequently for the members of
+  // different clusters" (Section 4.4) — the same split applies to the
+  // exchanges themselves, since intra-cluster messages are cheap.
+  // Parent-graph neighbors (parent/children) are treated as intra-rate
+  // peers regardless of cluster: the parent timeout depends on hearing
+  // them routinely.
+  sim::Duration info_period_intra{sim::milliseconds(500)};
+  sim::Duration info_period_inter{sim::seconds(4)};
+
+  // Periodic gap filling toward parent-graph neighbors (frequent) and
+  // toward everyone else — the Section 4.4 non-neighbor extension (rare,
+  // "the frequency of this type of gap filling should be relatively low
+  // since it operates across cluster boundaries").
+  sim::Duration gapfill_period_neighbor{sim::seconds(1)};
+  sim::Duration gapfill_period_far{sim::seconds(8)};
+
+  // --- timeouts ----------------------------------------------------------
+
+  // "time out on a parent that fails to send messages" (Section 4.3); on
+  // expiry the parent pointer is set to NIL.
+  sim::Duration parent_timeout{sim::seconds(10)};
+
+  // "If the acknowledgment to this [attach request] times out, the
+  // procedure is repeated to find another candidate" (Section 4.2).
+  sim::Duration attach_ack_timeout{sim::seconds(1)};
+
+  // Engineering necessity the paper leaves implicit: a parent must
+  // eventually forget a child it never hears from, or it would forward
+  // data to departed/unreachable children forever.
+  sim::Duration child_timeout{sim::seconds(30)};
+
+  // --- volume limits ------------------------------------------------------
+
+  // Max gap-fill data messages sent to one peer per periodic round.
+  std::size_t gapfill_burst{16};
+  // Max messages back-filled immediately when a new child attaches
+  // ("the parent ... forwards to the child all those messages that the
+  // child is missing"); the periodic filler finishes longer tails.
+  std::size_t attach_backfill_burst{64};
+
+  // Hysteresis for case II option (3): a cluster leader switches to an
+  // out-of-cluster host j only when max(MAP[j]) exceeds max(MAP[parent])
+  // by more than this margin. 0 reproduces the paper exactly (any strictly
+  // greater INFO set triggers a switch); the ablation bench explores the
+  // churn/delay trade-off of larger margins.
+  util::Seq parent_switch_margin{0};
+
+  // --- feature toggles (ablations) ----------------------------------------
+
+  // The Section 4.4 extension: gap filling between hosts that are not
+  // parent-graph neighbors. Required for the Figure 4.1 scenario; E10
+  // ablates it.
+  bool nonneighbor_gapfill{true};
+
+  // How many non-neighbor targets one host fills per far round. Bounding
+  // this matters: if every up-to-date host filled every laggard each
+  // round, a cluster behind a slow trunk would receive the same missing
+  // messages from all of them at once and congestion-collapse. A small
+  // random subset keeps aggregate repair traffic proportional to the gap,
+  // not to the host count (the paper: the frequency of cross-cluster gap
+  // filling "should be relatively low").
+  std::size_t far_fill_targets{2};
+
+  // Section 6 optimization: prune INFO prefixes once every host is known
+  // to have them.
+  bool enable_pruning{true};
+
+  // Section 6 optimization: piggyback the sender's INFO set and parent
+  // pointer on every data message, keeping parent-graph neighbors' MAPs
+  // fresh without separate control packets (allows stretching the INFO
+  // exchange periods). Off by default: the baseline protocol sends
+  // control messages separately.
+  bool piggyback_info{false};
+
+  // Cluster knowledge mode (Section 6 discussion):
+  //   kDynamic — maintain CLUSTER_i from the cost bit (the paper's default)
+  //   kStatic  — CLUSTER_i fixed to ground truth at start, never updated
+  //   kNone    — every host believes it is alone in its cluster
+  enum class ClusterKnowledge { kDynamic, kStatic, kNone };
+  ClusterKnowledge cluster_knowledge{ClusterKnowledge::kDynamic};
+
+  // --- workload ----------------------------------------------------------
+
+  // Payload size of one data message body.
+  std::size_t data_bytes{256};
+};
+
+}  // namespace rbcast::core

@@ -1,0 +1,42 @@
+#include "core/gap_filling.h"
+
+namespace rbcast::core {
+
+namespace {
+
+// Restricts a plan to messages whose bodies are still stored (pruning may
+// have released old payloads; what is pruned is by definition already at
+// every host, so nothing is lost by skipping it).
+std::vector<Seq> only_stored(const HostState& state, std::vector<Seq> seqs) {
+  std::erase_if(seqs,
+                [&](Seq q) { return state.body_of(q) == nullptr; });
+  return seqs;
+}
+
+}  // namespace
+
+std::vector<Seq> plan_attach_backfill(const HostState& state,
+                                      const SeqSet& child_info,
+                                      std::size_t burst) {
+  return only_stored(state, state.info().missing_from(child_info, burst));
+}
+
+std::vector<Seq> plan_neighbor_gapfill(const HostState& state, HostId j,
+                                       bool j_is_child, std::size_t burst) {
+  const SeqSet& known = state.map(j);
+  if (j_is_child) {
+    return only_stored(state, state.info().missing_from(known, burst));
+  }
+  return only_stored(
+      state, state.info().missing_from_capped(known, known.max_seq(), burst));
+}
+
+std::vector<Seq> plan_far_gapfill(const HostState& state, HostId j,
+                                  std::size_t burst) {
+  const SeqSet& known = state.map(j);
+  if (known.empty()) return {};  // never heard of j's INFO; nothing safe to say
+  return only_stored(
+      state, state.info().missing_from_capped(known, known.max_seq(), burst));
+}
+
+}  // namespace rbcast::core

@@ -1,0 +1,119 @@
+#include "core/host_state.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rbcast::core {
+
+namespace {
+const SeqSet kEmptySet{};
+}
+
+HostState::HostState(HostId self, std::vector<HostId> all_hosts)
+    : self_(self), all_hosts_(std::move(all_hosts)) {
+  RBCAST_CHECK_ARG(self.valid(), "invalid self id");
+  RBCAST_CHECK_ARG(
+      std::find(all_hosts_.begin(), all_hosts_.end(), self) != all_hosts_.end(),
+      "self must be among all_hosts");
+  // "CLUSTER_i is initialized to {i}, i.e., in the beginning each host
+  // assumes that it is in a cluster by itself."
+  cluster_.insert(self_);
+}
+
+bool HostState::record_message(Seq seq, std::string body) {
+  if (!info_.insert(seq)) return false;
+  bodies_.emplace(seq, std::move(body));
+  return true;
+}
+
+const std::string* HostState::body_of(Seq seq) const {
+  auto it = bodies_.find(seq);
+  return it != bodies_.end() ? &it->second : nullptr;
+}
+
+void HostState::prune(Seq watermark) {
+  info_.prune_below(watermark);
+  bodies_.erase(bodies_.begin(), bodies_.upper_bound(watermark));
+}
+
+Seq HostState::safe_prefix() const {
+  Seq prefix = info_.contiguous_prefix();
+  for (HostId j : all_hosts_) {
+    if (j == self_) continue;
+    prefix = std::min(prefix, map(j).contiguous_prefix());
+    if (prefix == 0) return 0;
+  }
+  return prefix;
+}
+
+const SeqSet& HostState::map(HostId j) const {
+  if (j == self_) return info_;
+  auto it = map_.find(j);
+  return it != map_.end() ? it->second : kEmptySet;
+}
+
+void HostState::learn_info(HostId j, const SeqSet& info) {
+  if (j == self_) return;
+  map_[j].merge(info);
+}
+
+void HostState::learn_has(HostId j, Seq seq) {
+  if (j == self_) return;
+  map_[j].insert(seq);
+}
+
+void HostState::update_cluster_from_cost_bit(HostId j, bool expensive) {
+  if (j == self_) return;
+  if (expensive) {
+    cluster_.erase(j);
+  } else {
+    cluster_.insert(j);
+  }
+}
+
+void HostState::set_cluster(std::set<HostId> cluster) {
+  cluster_ = std::move(cluster);
+  cluster_.insert(self_);
+}
+
+HostId HostState::parent_of(HostId j) const {
+  if (j == self_) return parent_of_self_;
+  auto it = parent_view_.find(j);
+  return it != parent_view_.end() ? it->second : kNoHost;
+}
+
+void HostState::learn_parent(HostId j, HostId parent) {
+  if (j == self_) return;
+  parent_view_[j] = parent;
+}
+
+std::vector<HostId> HostState::neighbors() const {
+  std::vector<HostId> out(children_.begin(), children_.end());
+  if (parent_of_self_.valid() && !children_.contains(parent_of_self_)) {
+    out.push_back(parent_of_self_);
+  }
+  return out;
+}
+
+HostState::AncestorWalk HostState::ancestors_of_self() const {
+  AncestorWalk walk;
+  std::set<HostId> seen{self_};
+  HostId cursor = parent_of_self_;
+  while (cursor.valid()) {
+    if (cursor == self_) {
+      walk.cycle = true;
+      return walk;
+    }
+    if (seen.contains(cursor)) {
+      // A cycle that does not pass through self (stale views); stop.
+      return walk;
+    }
+    seen.insert(cursor);
+    walk.ancestors.push_back(cursor);
+    cursor = parent_of(cursor);
+  }
+  return walk;
+}
+
+}  // namespace rbcast::core

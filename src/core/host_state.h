@@ -1,0 +1,128 @@
+// Per-host protocol state — the data structures of Section 4.2, kept free
+// of any networking or timing so the attachment and gap-filling logic can
+// be unit-tested in isolation.
+//
+//   INFO_i      — sequence numbers of all messages received by i
+//   MAP_i[j]    — i's (possibly stale) view of INFO_j; MAP_i[i] == INFO_i
+//   CLUSTER_i   — hosts i currently believes share its cluster
+//   CHILDREN_i  — i's children in the host parent graph
+//   p_i[j]      — i's view of j's parent; p_i[i] is i's true parent
+//   order(i)    — the static linear ordering over all hosts
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "util/ids.h"
+#include "util/seq_set.h"
+
+namespace rbcast::core {
+
+using util::Seq;
+using util::SeqSet;
+
+class HostState {
+ public:
+  // `all_hosts` must contain `self`. Static order is the host id value —
+  // any fixed linear order satisfies the paper's requirement.
+  HostState(HostId self, std::vector<HostId> all_hosts);
+
+  [[nodiscard]] HostId self() const { return self_; }
+  [[nodiscard]] const std::vector<HostId>& all_hosts() const {
+    return all_hosts_;
+  }
+
+  // --- static order ------------------------------------------------------
+  [[nodiscard]] static int order(HostId h) { return h.value; }
+
+  // --- INFO / message store ----------------------------------------------
+
+  [[nodiscard]] const SeqSet& info() const { return info_; }
+
+  // Records receipt of message `seq` with payload `body`. Returns true if
+  // it was new (first receipt — exactly-once delivery to the application
+  // keys off this).
+  bool record_message(Seq seq, std::string body);
+
+  [[nodiscard]] bool has_message(Seq seq) const { return info_.contains(seq); }
+  // Payload of a stored message; nullptr if unknown or pruned away.
+  [[nodiscard]] const std::string* body_of(Seq seq) const;
+
+  // Drops state for the safe prefix 1..watermark (Section 6 pruning).
+  void prune(Seq watermark);
+
+  // Largest prefix 1..n known (via MAP) to be held by *every* host; the
+  // safe pruning watermark. Hosts never heard from pin this at 0.
+  [[nodiscard]] Seq safe_prefix() const;
+
+  // --- MAP -----------------------------------------------------------------
+
+  // View of INFO_j (INFO_i itself when j == self).
+  [[nodiscard]] const SeqSet& map(HostId j) const;
+  // Merges freshly learned knowledge about j's INFO set (INFO sets only
+  // grow, so merging is always sound even with reordered control traffic).
+  void learn_info(HostId j, const SeqSet& info);
+  // Records that j provably has `seq` (we received a data message from j).
+  void learn_has(HostId j, Seq seq);
+
+  // --- CLUSTER ---------------------------------------------------------------
+
+  [[nodiscard]] const std::set<HostId>& cluster() const { return cluster_; }
+  [[nodiscard]] bool in_cluster(HostId j) const {
+    return cluster_.contains(j);
+  }
+  // Applies the paper's cost-bit rule: a cheap delivery from j adds j to
+  // CLUSTER_i, an expensive one removes it. No-op for self.
+  void update_cluster_from_cost_bit(HostId j, bool expensive);
+  // Overrides the cluster set (static cluster knowledge mode).
+  void set_cluster(std::set<HostId> cluster);
+
+  // --- parent graph ---------------------------------------------------------
+
+  [[nodiscard]] HostId parent() const { return parent_of_self_; }
+  void set_parent(HostId p) {
+    parent_of_self_ = p;
+    parent_view_[self_] = p;
+  }
+
+  // p_i[j]: i's view of j's parent (kNoHost when unknown / none).
+  [[nodiscard]] HostId parent_of(HostId j) const;
+  void learn_parent(HostId j, HostId parent);
+
+  [[nodiscard]] const std::set<HostId>& children() const { return children_; }
+  void add_child(HostId j) {
+    if (j != self_) children_.insert(j);
+  }
+  void remove_child(HostId j) { children_.erase(j); }
+  [[nodiscard]] bool is_child(HostId j) const { return children_.contains(j); }
+
+  // Parent-graph neighbors: children plus the current parent (if any).
+  [[nodiscard]] std::vector<HostId> neighbors() const;
+
+  // Ancestor chain of `start` according to p_i[]: follows parent pointers
+  // until NIL, an unknown host, or a repetition. If the walk returns to
+  // `start`, a cycle is reported along with its members.
+  struct AncestorWalk {
+    std::vector<HostId> ancestors;  // in order: parent, grandparent, ...
+    bool cycle{false};              // true iff the walk re-reached `start`
+  };
+  [[nodiscard]] AncestorWalk ancestors_of_self() const;
+
+ private:
+  HostId self_;
+  std::vector<HostId> all_hosts_;
+
+  SeqSet info_;
+  std::map<Seq, std::string> bodies_;
+  std::unordered_map<HostId, SeqSet> map_;
+  std::set<HostId> cluster_;
+  std::set<HostId> children_;
+  std::unordered_map<HostId, HostId> parent_view_;
+  HostId parent_of_self_{kNoHost};
+};
+
+}  // namespace rbcast::core

@@ -1,0 +1,55 @@
+#include "core/messages.h"
+
+namespace rbcast::core {
+
+namespace {
+
+// Fixed header: source id, destination id, type tag, sequence/checksum
+// fields — a realistic 1980s application-level header.
+constexpr std::size_t kHeaderBytes = 24;
+
+struct SizeVisitor {
+  std::size_t operator()(const DataMsg& m) const {
+    std::size_t size = kHeaderBytes + 8 + m.body.size();
+    if (m.piggyback.has_value()) {
+      size += 4 + m.piggyback->first.wire_size();
+    }
+    return size;
+  }
+  std::size_t operator()(const InfoMsg& m) const {
+    return kHeaderBytes + 4 + m.info.wire_size();
+  }
+  std::size_t operator()(const AttachRequest& m) const {
+    return kHeaderBytes + m.info.wire_size();
+  }
+  std::size_t operator()(const AttachAccept& m) const {
+    return kHeaderBytes + 4 + m.info.wire_size();
+  }
+  std::size_t operator()(const DetachNotice&) const { return kHeaderBytes; }
+};
+
+struct KindVisitor {
+  const char* operator()(const DataMsg& m) const {
+    return m.gap_fill ? "gapfill" : "data";
+  }
+  const char* operator()(const InfoMsg&) const { return "info"; }
+  const char* operator()(const AttachRequest&) const { return "attach_req"; }
+  const char* operator()(const AttachAccept&) const { return "attach_ack"; }
+  const char* operator()(const DetachNotice&) const { return "detach"; }
+};
+
+}  // namespace
+
+std::size_t wire_size(const ProtocolMessage& m) {
+  return std::visit(SizeVisitor{}, m);
+}
+
+const char* kind_of(const ProtocolMessage& m) {
+  return std::visit(KindVisitor{}, m);
+}
+
+bool is_data(const ProtocolMessage& m) {
+  return std::holds_alternative<DataMsg>(m);
+}
+
+}  // namespace rbcast::core

@@ -1,0 +1,83 @@
+// Protocol messages.
+//
+// Two families share the wire:
+//  * data messages — the broadcast stream itself, sequence-numbered by the
+//    source; a copy sent to fill a hole in a peer's INFO set is flagged
+//    gap_fill (the distinction matters for the acceptance rule and for
+//    cost accounting, Section 4.4);
+//  * control messages — INFO/parent exchange, the attach handshake and
+//    detach notices (Sections 4.2-4.3).
+//
+// Wire sizes are modelled, not serialized: the simulator charges each
+// message its realistic byte count so that cost and congestion results are
+// meaningful.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/ids.h"
+#include "util/seq_set.h"
+
+namespace rbcast::core {
+
+using util::Seq;
+using util::SeqSet;
+
+// One broadcast data message (possibly redelivered as a gap filler).
+struct DataMsg {
+  Seq seq{0};
+  std::string body;
+  // True when sent to fill a gap rather than as first-time propagation
+  // down the tree. Advisory (receivers decide by comparing seq to their
+  // own maximum); used for accounting.
+  bool gap_fill{false};
+  // Section 6 piggybacking: "some control messages that are dispatched by
+  // the same host at about the same time can be piggybacked in one
+  // packet." When Config::piggyback_info is on, every data message also
+  // carries the sender's INFO set and parent pointer, keeping neighbors'
+  // MAPs fresh without separate control packets.
+  std::optional<std::pair<SeqSet, HostId>> piggyback;
+};
+
+// Periodic state exchange: "Hosts periodically update one another on the
+// current values of their INFO sets" and "cluster neighbors periodically
+// inform i of the identities of their new parents" (Section 4.2). Both
+// ride in one control message (the paper's Section 6 piggybacking remark).
+struct InfoMsg {
+  SeqSet info;
+  HostId parent;  // sender's current parent; kNoHost when none
+};
+
+// "a message is sent to it requesting inclusion in its CHILDREN set"
+// (Section 4.2). Carries the requester's INFO set so the new parent can
+// back-fill what the child is missing (Section 4.4).
+struct AttachRequest {
+  SeqSet info;
+};
+
+// Acknowledgment of AttachRequest. Carries the parent's INFO and its own
+// parent pointer so the child's MAP and p[] start out fresh.
+struct AttachAccept {
+  SeqSet info;
+  HostId parent;
+};
+
+// "The old parent, if any, is also notified of the change" (Section 4.2).
+struct DetachNotice {};
+
+using ProtocolMessage =
+    std::variant<DataMsg, InfoMsg, AttachRequest, AttachAccept, DetachNotice>;
+
+// Modelled wire size (header + payload) in bytes.
+[[nodiscard]] std::size_t wire_size(const ProtocolMessage& m);
+
+// Metrics label: "data", "gapfill", "info", "attach_req", "attach_ack",
+// "detach".
+[[nodiscard]] const char* kind_of(const ProtocolMessage& m);
+
+// True for the data family (the rest is control traffic).
+[[nodiscard]] bool is_data(const ProtocolMessage& m);
+
+}  // namespace rbcast::core

@@ -1,0 +1,94 @@
+#include "core/multi_source.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rbcast::core {
+
+void MultiSourceNode::MuxEndpoint::send(HostId to, std::any payload,
+                                        std::size_t bytes, std::string kind) {
+  auto* inner = std::any_cast<ProtocolMessage>(&payload);
+  RBCAST_ASSERT_MSG(inner != nullptr,
+                    "mux endpoint expects protocol messages");
+  // +4 bytes: the stream-source demux field in the packet header.
+  real_.send(to, std::any(MuxMessage{stream_source_, std::move(*inner)}),
+             bytes + 4, std::move(kind));
+}
+
+MultiSourceNode::MultiSourceNode(sim::Simulator& simulator,
+                                 net::HostEndpoint& endpoint,
+                                 std::vector<HostId> sources,
+                                 std::vector<HostId> all_hosts,
+                                 const Config& config,
+                                 const util::RngFactory& rngs,
+                                 AppDeliverFn app_deliver)
+    : endpoint_(endpoint),
+      sources_(std::move(sources)),
+      app_deliver_(std::move(app_deliver)) {
+  RBCAST_CHECK_ARG(!sources_.empty(), "need at least one source");
+  for (HostId source : sources_) {
+    RBCAST_CHECK_ARG(std::find(all_hosts.begin(), all_hosts.end(), source) !=
+                         all_hosts.end(),
+                     "every source must be a participating host");
+    RBCAST_CHECK_ARG(!instances_.contains(source), "duplicate source");
+    auto mux = std::make_unique<MuxEndpoint>(endpoint_, source);
+    auto deliver = [this, source](Seq seq, const std::string& body) {
+      if (app_deliver_) app_deliver_(source, seq, body);
+    };
+    auto instance = std::make_unique<BroadcastHost>(
+        simulator, *mux, source, all_hosts, config,
+        // Independent jitter stream per (host, stream) pair.
+        rngs.stream("msrc.jitter",
+                    static_cast<std::int64_t>(endpoint_.self().value) * 4096 +
+                        source.value),
+        std::move(deliver));
+    mux_endpoints_.emplace(source, std::move(mux));
+    instances_.emplace(source, std::move(instance));
+  }
+}
+
+void MultiSourceNode::start() {
+  for (auto& [source, instance] : instances_) instance->start();
+}
+
+void MultiSourceNode::on_delivery(const net::Delivery& delivery) {
+  const auto* mux = std::any_cast<MuxMessage>(&delivery.payload);
+  RBCAST_ASSERT_MSG(mux != nullptr,
+                    "MultiSourceNode received a foreign payload");
+  auto it = instances_.find(mux->stream_source);
+  RBCAST_ASSERT_MSG(it != instances_.end(), "unknown stream source");
+
+  net::Delivery unwrapped = delivery;
+  unwrapped.payload = std::any(mux->inner);
+  if (unwrapped.bytes >= 4) unwrapped.bytes -= 4;
+  it->second->on_delivery(unwrapped);
+}
+
+Seq MultiSourceNode::broadcast(std::string body) {
+  RBCAST_ASSERT_MSG(is_source(),
+                    "broadcast() on a host that is not a stream source");
+  return instances_.at(self())->broadcast(std::move(body));
+}
+
+BroadcastHost& MultiSourceNode::instance(HostId source) {
+  auto it = instances_.find(source);
+  RBCAST_ASSERT_MSG(it != instances_.end(), "unknown stream source");
+  return *it->second;
+}
+
+const BroadcastHost& MultiSourceNode::instance(HostId source) const {
+  auto it = instances_.find(source);
+  RBCAST_ASSERT_MSG(it != instances_.end(), "unknown stream source");
+  return *it->second;
+}
+
+std::size_t MultiSourceNode::total_deliveries() const {
+  std::size_t n = 0;
+  for (const auto& [source, instance] : instances_) {
+    n += instance->counters().deliveries;
+  }
+  return n;
+}
+
+}  // namespace rbcast::core

@@ -1,0 +1,103 @@
+// Multiple-source broadcast (Section 2).
+//
+// "Here, we study only a single-source broadcast problem. However, a
+//  multiple-source broadcast can be performed reliably by running several
+//  identical single-source protocols suggested in the present paper. From
+//  the point of view of efficiency this option also appears to be a
+//  reasonable one."
+//
+// MultiSourceNode does exactly that: it runs one independent BroadcastHost
+// instance per source on each host, multiplexed over the host's single
+// network endpoint. Each instance maintains its own host parent graph
+// (rooted at its source), its own INFO/MAP state and its own periodic
+// activities; messages are tagged with the owning source on the wire.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_host.h"
+#include "core/config.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rbcast::core {
+
+// Wire envelope: which single-source protocol instance a message belongs
+// to. (In a real deployment this is a demux field in the packet header.)
+struct MuxMessage {
+  HostId stream_source;
+  ProtocolMessage inner;
+};
+
+class MultiSourceNode {
+ public:
+  // Called on first delivery of each (source, seq) pair at this host.
+  using AppDeliverFn =
+      std::function<void(HostId source, Seq seq, const std::string& body)>;
+
+  // `sources` lists every broadcast stream in the system (each must be a
+  // member of `all_hosts`); a protocol instance is created for each.
+  MultiSourceNode(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+                  std::vector<HostId> sources, std::vector<HostId> all_hosts,
+                  const Config& config, const util::RngFactory& rngs,
+                  AppDeliverFn app_deliver = {});
+
+  MultiSourceNode(const MultiSourceNode&) = delete;
+  MultiSourceNode& operator=(const MultiSourceNode&) = delete;
+
+  // Arms every instance's periodic activities.
+  void start();
+
+  // Network upcall: demultiplexes to the owning instance.
+  void on_delivery(const net::Delivery& delivery);
+
+  // Broadcasts on this host's own stream. Precondition: is_source().
+  Seq broadcast(std::string body);
+
+  [[nodiscard]] HostId self() const { return endpoint_.self(); }
+  [[nodiscard]] bool is_source() const {
+    return instances_.contains(self());
+  }
+
+  // The single-source protocol instance for `source`'s stream.
+  [[nodiscard]] BroadcastHost& instance(HostId source);
+  [[nodiscard]] const BroadcastHost& instance(HostId source) const;
+
+  [[nodiscard]] const std::vector<HostId>& sources() const {
+    return sources_;
+  }
+
+  // True iff this host holds messages 1..n of every stream, where n is
+  // each stream's known maximum.
+  [[nodiscard]] std::size_t total_deliveries() const;
+
+ private:
+  // Adapter handed to each inner BroadcastHost: wraps outgoing protocol
+  // messages into MuxMessage envelopes on the shared endpoint.
+  class MuxEndpoint final : public net::HostEndpoint {
+   public:
+    MuxEndpoint(net::HostEndpoint& real, HostId stream_source)
+        : real_(real), stream_source_(stream_source) {}
+    [[nodiscard]] HostId self() const override { return real_.self(); }
+    void send(HostId to, std::any payload, std::size_t bytes,
+              std::string kind) override;
+
+   private:
+    net::HostEndpoint& real_;
+    HostId stream_source_;
+  };
+
+  net::HostEndpoint& endpoint_;
+  std::vector<HostId> sources_;
+  AppDeliverFn app_deliver_;
+  // Keyed by source id; iteration order deterministic.
+  std::map<HostId, std::unique_ptr<MuxEndpoint>> mux_endpoints_;
+  std::map<HostId, std::unique_ptr<BroadcastHost>> instances_;
+};
+
+}  // namespace rbcast::core

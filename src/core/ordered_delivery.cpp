@@ -1,0 +1,39 @@
+#include "core/ordered_delivery.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rbcast::core {
+
+OrderedDeliveryAdapter::OrderedDeliveryAdapter(DownstreamFn downstream)
+    : downstream_(std::move(downstream)) {
+  RBCAST_CHECK_ARG(downstream_ != nullptr,
+                   "ordered delivery needs a downstream callback");
+}
+
+void OrderedDeliveryAdapter::on_message(util::Seq seq,
+                                        const std::string& body) {
+  RBCAST_ASSERT_MSG(seq >= next_, "duplicate delivery from upstream");
+  if (seq == next_) {
+    downstream_(seq, body);
+    ++released_;
+    ++next_;
+    flush();
+    return;
+  }
+  buffer_.emplace(seq, body);
+  max_buffered_ = std::max(max_buffered_, buffer_.size());
+}
+
+void OrderedDeliveryAdapter::flush() {
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first == next_) {
+    downstream_(it->first, it->second);
+    ++released_;
+    ++next_;
+    it = buffer_.erase(it);
+  }
+}
+
+}  // namespace rbcast::core

@@ -1,0 +1,41 @@
+// Observation hooks for protocol-level events.
+//
+// The network observer (net::NetObserver) sees packets; this one sees
+// *protocol* decisions: attachments, detachments, cycle breaks, timeouts,
+// rejections. Tests assert on exact event sequences; the event log
+// (trace::EventLog) records them for timeline output.
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+#include "util/seq_set.h"
+
+namespace rbcast::core {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  // `host` sent an attach request to `candidate` under `rule` (one of
+  // "I.1".."III.1").
+  virtual void on_attach_requested(HostId /*host*/, HostId /*candidate*/,
+                                   const std::string& /*rule*/) {}
+  // The handshake completed: `host` is now a child of `parent`.
+  virtual void on_attached(HostId /*host*/, HostId /*parent*/) {}
+  // `host` dropped its parent pointer. `timeout` distinguishes parent
+  // liveness expiry from deliberate detachment (cycle break).
+  virtual void on_detached(HostId /*host*/, HostId /*old_parent*/,
+                           bool /*timeout*/) {}
+  // `host` applied the Section 4.3 single-cluster cycle rule.
+  virtual void on_cycle_broken(HostId /*host*/) {}
+  // An attach request to `candidate` timed out unanswered.
+  virtual void on_attach_timeout(HostId /*host*/, HostId /*candidate*/) {}
+  // A new-maximum data message from a non-parent was discarded.
+  virtual void on_new_max_rejected(HostId /*host*/, HostId /*from*/,
+                                   util::Seq /*seq*/) {}
+  // First receipt of message `seq` at `host`.
+  virtual void on_delivered(HostId /*host*/, util::Seq /*seq*/) {}
+};
+
+}  // namespace rbcast::core

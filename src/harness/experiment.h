@@ -1,0 +1,147 @@
+// Experiment — one-call wiring of a complete scenario.
+//
+// Owns the simulator, the network built over a given topology, the metrics
+// registry, a fault plan, and a full set of protocol hosts (either the
+// paper's protocol or the basic baseline). Tests, examples and every bench
+// binary are written against this class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/basic_protocol.h"
+#include "core/broadcast_host.h"
+#include "core/config.h"
+#include "core/gossip_protocol.h"
+#include "core/ordered_delivery.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "trace/convergence.h"
+#include "trace/event_log.h"
+#include "trace/metrics.h"
+#include "util/rng.h"
+
+namespace rbcast::harness {
+
+enum class ProtocolKind {
+  kPaper,   // the paper's cluster-tree protocol (core::BroadcastHost)
+  kBasic,   // the Section-1 baseline (core::BasicSource/BasicReceiver)
+  kGossip,  // anti-entropy epidemic baseline (core::GossipNode, [Deme87])
+};
+
+struct ScenarioOptions {
+  ProtocolKind protocol_kind{ProtocolKind::kPaper};
+  core::Config protocol{};
+  core::BasicConfig basic{};
+  core::GossipConfig gossip{};
+  net::NetConfig net{};
+  HostId source{0};
+  std::uint64_t seed{1};
+  // When true (paper protocol only), applications see messages in strict
+  // sequence order through core::OrderedDeliveryAdapter; delivery metrics
+  // then measure in-order availability rather than first receipt. The
+  // paper's Section 1 argues unordered delivery is the cheaper default.
+  bool ordered_delivery{false};
+};
+
+class Experiment {
+ public:
+  // The topology is moved in and must be fully built.
+  Experiment(topo::Topology topology, ScenarioOptions options);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // Arms all hosts' periodic activities. Call once before running.
+  void start();
+
+  // --- workload -----------------------------------------------------------
+
+  // Broadcasts one message now (body auto-generated to the configured
+  // size unless given). Records broadcast time in the metrics.
+  util::Seq broadcast(std::string body = {});
+
+  // Schedules `count` broadcasts, one every `interval`, starting at
+  // `first_at`.
+  void broadcast_stream(int count, sim::Duration interval,
+                        sim::TimePoint first_at);
+
+  // Schedules a single broadcast at an absolute time (building block for
+  // arbitrary workloads; see harness/workload.h).
+  void schedule_broadcast_at(sim::TimePoint t);
+
+  // --- execution ------------------------------------------------------------
+
+  void run_until(sim::TimePoint t) { simulator_.run_until(t); }
+  void run_for(sim::Duration d) { simulator_.run_for(d); }
+
+  // Runs until every host holds every broadcast message, polling every
+  // `poll`; gives up at `deadline`. Returns the completion time, or
+  // `deadline` if incomplete.
+  sim::TimePoint run_until_delivered(sim::TimePoint deadline,
+                                     sim::Duration poll = sim::seconds(1));
+
+  // --- state queries -----------------------------------------------------
+
+  [[nodiscard]] bool all_delivered() const;
+  [[nodiscard]] trace::ConvergenceReport convergence() const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::FaultPlan& faults() { return *faults_; }
+  [[nodiscard]] trace::Metrics& metrics() { return *metrics_; }
+  // Protocol event timeline (paper protocol only; empty for the baseline).
+  [[nodiscard]] trace::EventLog& events() { return *events_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const util::RngFactory& rngs() const { return rngs_; }
+  [[nodiscard]] HostId source() const { return options_.source; }
+  [[nodiscard]] std::size_t host_count() const {
+    return topology_.host_count();
+  }
+
+  // Paper-protocol accessors (precondition: protocol_kind == kPaper).
+  [[nodiscard]] core::BroadcastHost& host(HostId id);
+  [[nodiscard]] std::vector<const core::BroadcastHost*> host_views() const;
+
+  // Baseline accessors (precondition: protocol_kind == kBasic).
+  [[nodiscard]] core::BasicSource& basic_source();
+
+  // Gossip accessors (precondition: protocol_kind == kGossip).
+  [[nodiscard]] core::GossipNode& gossip_node(HostId id);
+
+  // Ordered-delivery accessor (precondition: ordered_delivery was set and
+  // `id` is not the source).
+  [[nodiscard]] core::OrderedDeliveryAdapter& ordered_adapter(HostId id);
+
+  [[nodiscard]] util::Seq last_seq() const { return last_seq_; }
+
+ private:
+  topo::Topology topology_;
+  ScenarioOptions options_;
+  util::RngFactory rngs_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<trace::Metrics> metrics_;
+  std::unique_ptr<trace::EventLog> events_;
+  std::unique_ptr<net::FaultPlan> faults_;
+
+  std::vector<std::unique_ptr<core::BroadcastHost>> paper_hosts_;
+  std::vector<std::unique_ptr<core::OrderedDeliveryAdapter>> ordered_;
+  std::unique_ptr<core::BasicSource> basic_source_;
+  std::vector<std::unique_ptr<core::BasicReceiver>> basic_receivers_;
+  std::vector<std::unique_ptr<core::GossipNode>> gossip_nodes_;
+
+  util::Seq last_seq_{0};
+  // Stream broadcasts scheduled but not yet generated; all_delivered() is
+  // false while any are outstanding (otherwise a poll before the stream
+  // starts would report vacuous success).
+  int pending_stream_broadcasts_{0};
+
+  [[nodiscard]] std::string make_body() const;
+};
+
+}  // namespace rbcast::harness

@@ -1,0 +1,60 @@
+#include "harness/workload.h"
+
+#include "util/assert.h"
+
+namespace rbcast::harness {
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+sim::TimePoint schedule_workload(Experiment& experiment,
+                                 const WorkloadOptions& options,
+                                 util::Rng rng) {
+  RBCAST_CHECK_ARG(options.messages >= 0, "negative message count");
+  RBCAST_CHECK_ARG(options.interval > 0, "interval must be positive");
+  RBCAST_CHECK_ARG(options.burst_size >= 1, "burst size must be >= 1");
+
+  sim::TimePoint at = options.first_at;
+  sim::TimePoint last = at;
+  int scheduled = 0;
+  int in_burst = 0;
+
+  while (scheduled < options.messages) {
+    experiment.schedule_broadcast_at(at);
+    last = at;
+    ++scheduled;
+
+    switch (options.process) {
+      case ArrivalProcess::kUniform:
+        at += options.interval;
+        break;
+      case ArrivalProcess::kPoisson: {
+        const double gap_s =
+            rng.exponential(sim::to_seconds(options.interval));
+        at += std::max<sim::Duration>(1, sim::from_seconds(gap_s));
+        break;
+      }
+      case ArrivalProcess::kBursty:
+        ++in_burst;
+        if (in_burst >= options.burst_size) {
+          in_burst = 0;
+          at += options.interval;  // silence between bursts
+        } else {
+          at += sim::microseconds(100);  // back-to-back within the burst
+        }
+        break;
+    }
+  }
+  return last;
+}
+
+}  // namespace rbcast::harness

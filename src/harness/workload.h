@@ -1,0 +1,41 @@
+// Workload generators: how the source produces its broadcast stream.
+//
+// The paper's premise is that "broadcast applications usually operate on
+// streams of many messages" (Section 1); the *shape* of the stream matters
+// for queueing and for the tunability results, so benches and the CLI can
+// pick from several arrival processes:
+//   * uniform  — one message every T (the default used by most benches);
+//   * poisson  — exponential inter-arrival times with a given rate;
+//   * bursty   — on/off: bursts of back-to-back messages separated by
+//                silence (models batched database updates).
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.h"
+#include "util/rng.h"
+
+namespace rbcast::harness {
+
+enum class ArrivalProcess { kUniform, kPoisson, kBursty };
+
+struct WorkloadOptions {
+  ArrivalProcess process{ArrivalProcess::kUniform};
+  int messages{30};
+  // Uniform: exact spacing. Poisson: mean spacing. Bursty: spacing
+  // between bursts.
+  sim::Duration interval{sim::milliseconds(500)};
+  // Bursty only: messages per burst.
+  int burst_size{5};
+  sim::TimePoint first_at{sim::seconds(1)};
+};
+
+// Schedules the whole stream on the experiment's simulator. Returns the
+// time of the last scheduled broadcast.
+sim::TimePoint schedule_workload(Experiment& experiment,
+                                 const WorkloadOptions& options,
+                                 util::Rng rng);
+
+[[nodiscard]] const char* to_string(ArrivalProcess process);
+
+}  // namespace rbcast::harness

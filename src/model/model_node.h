@@ -1,0 +1,133 @@
+// Abstract protocol model for exhaustive checking.
+//
+// The paper's companion technical report [Garc87] gives a formal
+// specification of the algorithm; this module provides the executable
+// counterpart: a timer-free, side-effect-free model of one protocol host
+// whose *pure* pieces are the production ones (HostState, run_attachment,
+// the gap-fill planners) and whose message handlers mirror
+// core::BroadcastHost line for line. The checker (src/model/checker.h)
+// explores interleavings of these handlers under an adversarial network —
+// any delivery order, loss and duplication at any point — and verifies
+// safety invariants in every reachable state.
+//
+// Differences from the simulator host, by design:
+//  * periodic activities are explicit transitions the explorer fires at
+//    arbitrary times (a superset of any timer schedule);
+//  * INFO exchange and gap filling target one peer per transition (the
+//    explorer composes broadcasts out of them);
+//  * no pruning (the checker compares full INFO contents);
+//  * cluster ground truth is a static map, and the cost bit of a delivery
+//    derives from it — equivalent to the paper's assumption that the
+//    network marks inter-cluster deliveries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/host_state.h"
+#include "core/messages.h"
+
+namespace rbcast::model {
+
+using core::ProtocolMessage;
+using core::Seq;
+
+struct ModelConfig {
+  int hosts{3};
+  // cluster_of[h] = ground-truth cluster index of host h.
+  std::vector<int> cluster_of{0, 0, 0};
+  HostId source{0};
+  // The source may generate up to this many messages.
+  int max_broadcasts{2};
+  // In-flight message capacity; sends beyond it are lost (loss is legal
+  // in the model, so capacity pruning never hides behaviours, it only
+  // bounds the state space).
+  std::size_t max_inflight{4};
+  Seq parent_switch_margin{0};
+
+  // --- mutations (checker self-tests) ------------------------------------
+  // Deliver duplicates to the application (breaks exactly-once).
+  bool mutant_double_delivery{false};
+  // Accept new maxima from any host, not just the parent (breaks the
+  // acceptance rule; surfaces as INFO divergence ahead of the parent).
+  bool mutant_accept_from_anyone{false};
+
+  [[nodiscard]] bool same_cluster(HostId a, HostId b) const {
+    return cluster_of[static_cast<std::size_t>(a.value)] ==
+           cluster_of[static_cast<std::size_t>(b.value)];
+  }
+};
+
+// A message in the adversarial network.
+struct ModelMessage {
+  HostId from;
+  HostId to;
+  ProtocolMessage payload;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+// One protocol host, timer-free.
+class ModelNode {
+ public:
+  ModelNode(HostId self, const ModelConfig& config);
+
+  // Copyable: the checker clones system states freely.
+  ModelNode(const ModelNode&) = default;
+  ModelNode& operator=(const ModelNode&) = default;
+
+  [[nodiscard]] HostId self() const { return state_.self(); }
+  [[nodiscard]] const core::HostState& state() const { return state_; }
+  [[nodiscard]] HostId pending_attach() const { return pending_attach_; }
+
+  // Application-level delivery counts per sequence number (the
+  // exactly-once invariant is |count| <= 1 for every seq).
+  [[nodiscard]] const std::map<Seq, int>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] const std::map<Seq, std::string>& delivered_bodies() const {
+    return delivered_bodies_;
+  }
+
+  // --- transitions; each returns the messages it sends -------------------
+
+  // Source only: generate the next data message.
+  std::vector<ModelMessage> broadcast(Seq seq, const std::string& body);
+
+  // Deliver one network message to this node. `expensive` is the cost
+  // bit, derived from the static cluster map by the caller.
+  std::vector<ModelMessage> on_message(HostId from,
+                                       const ProtocolMessage& message,
+                                       bool expensive,
+                                       const ModelConfig& config);
+
+  // The periodic activities as explicit steps.
+  std::vector<ModelMessage> attachment_step(const ModelConfig& config);
+  std::vector<ModelMessage> info_step(HostId to);
+  std::vector<ModelMessage> gapfill_step(HostId to, const ModelConfig& config);
+  std::vector<ModelMessage> parent_timeout_step();
+  void give_up_attach_step();
+
+  // Canonical serialization for state deduplication.
+  [[nodiscard]] std::string fingerprint() const;
+
+ private:
+  std::vector<ModelMessage> handle_data(HostId from, const core::DataMsg& m,
+                                        const ModelConfig& config);
+  void handle_info(HostId from, const core::InfoMsg& m);
+  std::vector<ModelMessage> handle_attach_request(
+      HostId from, const core::AttachRequest& m);
+  std::vector<ModelMessage> handle_attach_accept(HostId from,
+                                                 const core::AttachAccept& m);
+  void deliver_to_app(Seq seq, const std::string& body);
+  [[nodiscard]] ModelMessage make(HostId to, ProtocolMessage m) const;
+
+  core::HostState state_;
+  HostId source_;
+  HostId pending_attach_{kNoHost};
+  std::map<Seq, int> deliveries_;
+  std::map<Seq, std::string> delivered_bodies_;
+};
+
+}  // namespace rbcast::model

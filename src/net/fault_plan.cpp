@@ -1,0 +1,86 @@
+#include "net/fault_plan.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace rbcast::net {
+
+FaultPlan::FaultPlan(sim::Simulator& simulator, Network& network)
+    : simulator_(simulator), network_(network) {}
+
+void FaultPlan::link_down_at(sim::TimePoint t, LinkId link) {
+  simulator_.at(t, [this, link] {
+    RBCAST_INFO("fault: " << link << " down");
+    network_.set_link_up(link, false);
+  });
+}
+
+void FaultPlan::link_up_at(sim::TimePoint t, LinkId link) {
+  simulator_.at(t, [this, link] {
+    RBCAST_INFO("fault: " << link << " up");
+    network_.set_link_up(link, true);
+  });
+}
+
+void FaultPlan::outage_window(LinkId link, sim::TimePoint from,
+                              sim::TimePoint to) {
+  RBCAST_CHECK_ARG(from < to, "outage window must have positive length");
+  link_down_at(from, link);
+  link_up_at(to, link);
+}
+
+void FaultPlan::host_crash_window(HostId host, sim::TimePoint from,
+                                  sim::TimePoint to) {
+  const LinkId access = network_.topology().host(host).access_link;
+  outage_window(access, from, to);
+}
+
+void FaultPlan::partition_window(const std::vector<LinkId>& cut,
+                                 sim::TimePoint from, sim::TimePoint to) {
+  for (LinkId link : cut) outage_window(link, from, to);
+}
+
+void FaultPlan::flapping(const std::vector<LinkId>& links,
+                         sim::Duration mean_up, sim::Duration mean_down,
+                         sim::TimePoint until, const util::RngFactory& rngs) {
+  RBCAST_CHECK_ARG(mean_up > 0 && mean_down > 0, "flapping means must be > 0");
+  for (LinkId link : links) {
+    flappers_.push_back(Flapper{.link = link,
+                                .mean_up = mean_up,
+                                .mean_down = mean_down,
+                                .until = until,
+                                .rng = rngs.stream("fault.flap", link.value)});
+    flap_next(flappers_.size() - 1, /*currently_up=*/true);
+  }
+}
+
+void FaultPlan::flap_next(std::size_t flapper_index, bool currently_up) {
+  Flapper& f = flappers_[flapper_index];
+  const sim::Duration mean = currently_up ? f.mean_up : f.mean_down;
+  const sim::Duration phase =
+      std::max<sim::Duration>(1, sim::from_seconds(f.rng.exponential(
+                                     sim::to_seconds(mean))));
+  const sim::TimePoint next = simulator_.now() + phase;
+  if (next >= f.until) {
+    // End of the flapping schedule: leave the link up so the scenario can
+    // quiesce deterministically.
+    simulator_.at(f.until, [this, link = f.link] {
+      network_.set_link_up(link, true);
+    });
+    return;
+  }
+  simulator_.at(next, [this, flapper_index, currently_up] {
+    Flapper& g = flappers_[flapper_index];
+    network_.set_link_up(g.link, !currently_up);
+    flap_next(flapper_index, !currently_up);
+  });
+}
+
+std::vector<LinkId> FaultPlan::trunks_incident_to(
+    const topo::Topology& topology, ServerId server) {
+  std::vector<LinkId> out;
+  for (LinkId lid : topology.trunk_links_of(server)) out.push_back(lid);
+  return out;
+}
+
+}  // namespace rbcast::net

@@ -1,0 +1,70 @@
+// Scripted and randomized fault injection.
+//
+// The paper's failure model lets links "fail and recover at any time";
+// hosts never fail, but a host crash is simulated by taking down its
+// access link (Section 2). FaultPlan schedules exactly these events on the
+// simulator: one-shot windows, permanent failures, network partitions and
+// random flapping.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace rbcast::net {
+
+class FaultPlan {
+ public:
+  FaultPlan(sim::Simulator& simulator, Network& network);
+
+  // --- one-shot events ------------------------------------------------
+
+  void link_down_at(sim::TimePoint t, LinkId link);
+  void link_up_at(sim::TimePoint t, LinkId link);
+
+  // Link is down during [from, to), up again at `to`.
+  void outage_window(LinkId link, sim::TimePoint from, sim::TimePoint to);
+
+  // Simulates a crash of `host` during [from, to) by failing its access
+  // link (the paper's host-crash model).
+  void host_crash_window(HostId host, sim::TimePoint from, sim::TimePoint to);
+
+  // Takes down every listed link during [from, to). Used to create
+  // partitions: pass all trunks crossing the desired cut.
+  void partition_window(const std::vector<LinkId>& cut, sim::TimePoint from,
+                        sim::TimePoint to);
+
+  // --- random flapping --------------------------------------------------
+  //
+  // Each listed link alternates between up-phases (exponential, mean
+  // `mean_up`) and down-phases (exponential, mean `mean_down`), starting
+  // up, until `until`. Each link gets an independent stream from `rngs`.
+  void flapping(const std::vector<LinkId>& links, sim::Duration mean_up,
+                sim::Duration mean_down, sim::TimePoint until,
+                const util::RngFactory& rngs);
+
+  // All expensive trunks that connect different ground-truth clusters of
+  // `wan_clusters` — the natural cut set for partition experiments.
+  [[nodiscard]] static std::vector<LinkId> trunks_incident_to(
+      const topo::Topology& topology, ServerId server);
+
+ private:
+  struct Flapper {
+    LinkId link;
+    sim::Duration mean_up;
+    sim::Duration mean_down;
+    sim::TimePoint until;
+    util::Rng rng;
+  };
+
+  void flap_next(std::size_t flapper_index, bool currently_up);
+
+  sim::Simulator& simulator_;
+  Network& network_;
+  std::vector<Flapper> flappers_;
+};
+
+}  // namespace rbcast::net

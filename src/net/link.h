@@ -1,0 +1,62 @@
+// Runtime state of one link: up/down, per-direction serialization queue,
+// loss and duplication draws.
+//
+// Failure semantics follow the paper exactly: messages "can ... be lost at
+// any point (even when the link over which the lost message was sent is
+// perceived to be operational), or be spontaneously duplicated", and
+// neither loss nor link failure is reported to anyone.
+#pragma once
+
+#include "sim/time.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace rbcast::net {
+
+class LinkState {
+ public:
+  LinkState(const topo::LinkSpec& spec, util::Rng rng);
+
+  [[nodiscard]] const topo::LinkSpec& spec() const { return *spec_; }
+  [[nodiscard]] bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  // Which direction a transmission from server `from` uses (trunks only).
+  [[nodiscard]] int direction_from(ServerId from) const {
+    return from == spec_->a ? 0 : 1;
+  }
+
+  struct TxResult {
+    // Copies that will actually arrive: 0 = lost, 1 = normal,
+    // 2 = spontaneously duplicated.
+    int copies{0};
+    // Wait until the wire is free (serialization backlog at enqueue).
+    sim::Duration queue_wait{0};
+    // Time to clock the message onto the wire.
+    sim::Duration tx_time{0};
+    // One-way arrival offsets from `now` for each copy (queue + tx + prop).
+    sim::Duration arrival_offset[2]{0, 0};
+  };
+
+  // Serialization backlog a message enqueued now in direction `dir` would
+  // wait behind (0 when the wire is idle). Lets the owner implement
+  // finite buffers: real store-and-forward servers tail-drop rather than
+  // queue unboundedly.
+  [[nodiscard]] sim::Duration queue_backlog(int dir,
+                                            sim::TimePoint now) const {
+    return next_free_[dir] > now ? next_free_[dir] - now : 0;
+  }
+
+  // Attempts to transmit `bytes` in direction `dir` at time `now`.
+  // Precondition: up(). Occupies the wire even for copies that are lost
+  // (the bits were sent; they just never arrived).
+  TxResult transmit(std::size_t bytes, int dir, sim::TimePoint now);
+
+ private:
+  const topo::LinkSpec* spec_;
+  bool up_{true};
+  sim::TimePoint next_free_[2]{0, 0};
+  util::Rng rng_;
+};
+
+}  // namespace rbcast::net

@@ -1,0 +1,96 @@
+// What the network carries between hosts.
+//
+// Per the paper's Section 2, the only service hosts get is single-
+// destination delivery: a host hands its server a message for one other
+// host. The network annotates each delivery with the *cost bit* — "whether
+// the message ... traversed an expensive link on its way" — which is the
+// only dynamic information the broadcast application may use.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace rbcast::net {
+
+// A message as seen by the receiving host.
+struct Delivery {
+  HostId from;
+  HostId to;
+  // The cost bit: true iff any hop of the path was an expensive link.
+  bool expensive{false};
+  // Protocol-defined content; the network treats it as opaque.
+  std::any payload;
+  // Wire size used for transmission-time and accounting purposes.
+  std::size_t bytes{0};
+  // Metrics label chosen by the sender ("data", "info", "gapfill", ...).
+  std::string kind;
+  sim::TimePoint sent_at{0};
+  int hops{0};
+};
+
+using DeliveryFn = std::function<void(const Delivery&)>;
+
+enum class DropReason {
+  kLinkDown,       // the link was down when the packet reached it
+  kRandomLoss,     // silent loss on an operational link
+  kNoRoute,        // routing has no path (partition or pre-convergence)
+  kTtlExceeded,    // routing transient caused a loop
+  kQueueOverflow,  // finite output buffer full (tail drop)
+};
+
+[[nodiscard]] constexpr const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kLinkDown:
+      return "link_down";
+    case DropReason::kRandomLoss:
+      return "random_loss";
+    case DropReason::kNoRoute:
+      return "no_route";
+    case DropReason::kTtlExceeded:
+      return "ttl_exceeded";
+    case DropReason::kQueueOverflow:
+      return "queue_overflow";
+  }
+  return "?";
+}
+
+// Observation hooks for the metrics layer. All methods have empty default
+// implementations so observers override only what they need.
+class NetObserver {
+ public:
+  virtual ~NetObserver() = default;
+  // A host handed a message to its server.
+  virtual void on_host_send(const Delivery&) {}
+  // A message reached its destination host.
+  virtual void on_deliver(const Delivery&) {}
+  // A message (or a copy of it) died in the network. Silent: the paper's
+  // network reports nothing to the application.
+  virtual void on_drop(const Delivery&, DropReason) {}
+  // One transmission of the message over one link (per copy).
+  virtual void on_link_transmit(LinkId, const Delivery&) {}
+  // Serialization backlog observed when a packet was queued on an outgoing
+  // link direction of `server` (source-congestion experiment, E5).
+  virtual void on_queue_backlog(ServerId, LinkId,
+                                sim::Duration /*backlog*/) {}
+};
+
+// The sending interface a protocol host holds. Production hosts get the
+// Network-backed implementation; protocol unit tests plug in a scripted
+// fake (tests/support/fake_network.h).
+class HostEndpoint {
+ public:
+  virtual ~HostEndpoint() = default;
+  [[nodiscard]] virtual HostId self() const = 0;
+  // Requests unicast delivery of `payload` to host `to`. Fire-and-forget:
+  // there is no error result, because the paper's network never reports
+  // loss or failure to the application.
+  virtual void send(HostId to, std::any payload, std::size_t bytes,
+                    std::string kind) = 0;
+};
+
+}  // namespace rbcast::net

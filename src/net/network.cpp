@@ -1,0 +1,281 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace rbcast::net {
+
+class Network::Endpoint final : public HostEndpoint {
+ public:
+  Endpoint(Network& network, HostId self) : network_(network), self_(self) {}
+
+  [[nodiscard]] HostId self() const override { return self_; }
+
+  void send(HostId to, std::any payload, std::size_t bytes,
+            std::string kind) override {
+    network_.send(self_, to, std::move(payload), bytes, std::move(kind));
+  }
+
+ private:
+  Network& network_;
+  HostId self_;
+};
+
+Network::Network(sim::Simulator& simulator, const topo::Topology& topology,
+                 NetConfig config, const util::RngFactory& rngs)
+    : simulator_(simulator),
+      topology_(topology),
+      config_(config),
+      routing_(simulator, topology,
+               [this](LinkId id) { return link_up(id); },
+               config.convergence_lag),
+      jitter_rng_(rngs.stream("net.jitter")) {
+  RBCAST_CHECK_ARG(config.ttl >= 1, "ttl must be at least 1");
+  RBCAST_CHECK_ARG(config.jitter_max >= 0, "negative jitter");
+  RBCAST_CHECK_ARG(config.max_queue_delay > 0,
+                   "max_queue_delay must be positive");
+  links_.reserve(topology.link_count());
+  for (const topo::LinkSpec& spec : topology.links()) {
+    links_.emplace_back(spec, rngs.stream("net.link", spec.id.value));
+  }
+  routing_.recompute_now();
+  servers_.reserve(topology.server_count());
+  for (const topo::ServerSpec& s : topology.servers()) {
+    servers_.emplace_back(s.id, topology, routing_);
+  }
+  deliver_.resize(topology.host_count());
+  endpoints_.resize(topology.host_count());
+  inflight_.resize(topology.link_count());
+  for (const topo::HostSpec& h : topology.hosts()) {
+    endpoints_[static_cast<std::size_t>(h.id.value)] =
+        std::make_unique<Endpoint>(*this, h.id);
+  }
+}
+
+Network::~Network() = default;
+
+void Network::register_host(HostId host, DeliveryFn deliver) {
+  RBCAST_CHECK_ARG(
+      host.valid() && static_cast<std::size_t>(host.value) < deliver_.size(),
+      "register_host: unknown host");
+  RBCAST_CHECK_ARG(deliver != nullptr, "register_host: null delivery fn");
+  deliver_[static_cast<std::size_t>(host.value)] = std::move(deliver);
+}
+
+HostEndpoint& Network::endpoint(HostId host) {
+  RBCAST_ASSERT(host.valid() &&
+                static_cast<std::size_t>(host.value) < endpoints_.size());
+  return *endpoints_[static_cast<std::size_t>(host.value)];
+}
+
+LinkState& Network::link_state(LinkId id) {
+  RBCAST_ASSERT(id.valid() &&
+                static_cast<std::size_t>(id.value) < links_.size());
+  return links_[static_cast<std::size_t>(id.value)];
+}
+
+const LinkState& Network::link_state(LinkId id) const {
+  RBCAST_ASSERT(id.valid() &&
+                static_cast<std::size_t>(id.value) < links_.size());
+  return links_[static_cast<std::size_t>(id.value)];
+}
+
+sim::Duration Network::jitter() {
+  if (config_.jitter_max <= 0) return 0;
+  return jitter_rng_.uniform_int(0, config_.jitter_max);
+}
+
+void Network::schedule_on_link(LinkId link, sim::Duration delay,
+                               std::function<void()> action) {
+  auto& pending = inflight_[static_cast<std::size_t>(link.value)];
+  // The cell lets the event remove its own registration when it fires.
+  auto cell = std::make_shared<sim::EventId>();
+  *cell = simulator_.after(
+      delay, [this, link, cell, action = std::move(action)] {
+        inflight_[static_cast<std::size_t>(link.value)].erase(cell->value);
+        action();
+      });
+  pending.insert(cell->value);
+}
+
+void Network::send(HostId from, HostId to, std::any payload,
+                   std::size_t bytes, std::string kind) {
+  RBCAST_CHECK_ARG(from.valid() && to.valid() && from != to,
+                   "send: bad endpoints");
+  Packet p;
+  p.d = Delivery{.from = from,
+                 .to = to,
+                 .expensive = false,
+                 .payload = std::move(payload),
+                 .bytes = bytes,
+                 .kind = std::move(kind),
+                 .sent_at = simulator_.now(),
+                 .hops = 0};
+  p.ttl = config_.ttl;
+
+  if (observer_ != nullptr) observer_->on_host_send(p.d);
+
+  const topo::HostSpec& hs = topology_.host(from);
+  LinkState& access = link_state(hs.access_link);
+  if (!access.up()) {
+    drop(p.d, DropReason::kLinkDown);
+    return;
+  }
+  if (access.queue_backlog(0, simulator_.now()) > config_.max_queue_delay) {
+    drop(p.d, DropReason::kQueueOverflow);
+    return;
+  }
+  // Direction 0 of an access link is host -> server.
+  const auto tx = access.transmit(bytes, 0, simulator_.now());
+  if (observer_ != nullptr) {
+    observer_->on_queue_backlog(hs.server, hs.access_link, tx.queue_wait);
+  }
+  if (tx.copies == 0) {
+    drop(p.d, DropReason::kRandomLoss);
+    return;
+  }
+  p.at = hs.server;
+  ++p.d.hops;
+  for (int c = 0; c < tx.copies; ++c) {
+    Packet copy = p;
+    schedule_on_link(hs.access_link, tx.arrival_offset[c] + jitter(),
+                     [this, q = std::move(copy)]() mutable {
+                       arrive_at_server(std::move(q));
+                     });
+  }
+}
+
+void Network::arrive_at_server(Packet p) {
+  const topo::HostSpec& dst = topology_.host(p.d.to);
+  if (p.at == dst.server) {
+    deliver_to_host(std::move(p));
+    return;
+  }
+  if (--p.ttl <= 0) {
+    drop(p.d, DropReason::kTtlExceeded);
+    return;
+  }
+  Server& here = servers_[static_cast<std::size_t>(p.at.value)];
+  const auto choice = here.choose_link(
+      dst.server, [this](LinkId id) { return link_up(id); });
+  if (!choice.link.valid()) {
+    drop(p.d, choice.had_route ? DropReason::kLinkDown : DropReason::kNoRoute);
+    return;
+  }
+  here.count_forwarded();
+
+  LinkState& ls = link_state(choice.link);
+  const int dir = ls.direction_from(p.at);
+  if (ls.queue_backlog(dir, simulator_.now()) > config_.max_queue_delay) {
+    drop(p.d, DropReason::kQueueOverflow);
+    return;
+  }
+  const auto tx = ls.transmit(p.d.bytes, dir, simulator_.now());
+  if (observer_ != nullptr) {
+    observer_->on_queue_backlog(p.at, choice.link, tx.queue_wait);
+    observer_->on_link_transmit(choice.link, p.d);
+  }
+  if (tx.copies == 0) {
+    drop(p.d, DropReason::kRandomLoss);
+    return;
+  }
+  const bool expensive =
+      ls.spec().link_class == topo::LinkClass::kExpensive;
+  const ServerId next = ls.spec().other_end(p.at);
+  for (int c = 0; c < tx.copies; ++c) {
+    Packet copy = p;
+    copy.at = next;
+    copy.d.expensive = copy.d.expensive || expensive;
+    ++copy.d.hops;
+    schedule_on_link(choice.link, tx.arrival_offset[c] + jitter(),
+                     [this, q = std::move(copy)]() mutable {
+                       arrive_at_server(std::move(q));
+                     });
+  }
+}
+
+void Network::deliver_to_host(Packet p) {
+  const topo::HostSpec& dst = topology_.host(p.d.to);
+  LinkState& access = link_state(dst.access_link);
+  if (!access.up()) {
+    drop(p.d, DropReason::kLinkDown);
+    return;
+  }
+  // Direction 1 of an access link is server -> host.
+  const auto tx = access.transmit(p.d.bytes, 1, simulator_.now());
+  if (tx.copies == 0) {
+    drop(p.d, DropReason::kRandomLoss);
+    return;
+  }
+  // Spontaneous duplication on the last hop delivers the message twice —
+  // the protocol must cope, so keep both copies.
+  for (int c = 0; c < tx.copies; ++c) {
+    Packet copy = p;
+    ++copy.d.hops;
+    schedule_on_link(
+        dst.access_link, tx.arrival_offset[c] + jitter(),
+        [this, q = std::move(copy)] {
+          const auto idx = static_cast<std::size_t>(q.d.to.value);
+          RBCAST_ASSERT_MSG(deliver_[idx] != nullptr,
+                            "message addressed to unregistered host");
+          if (observer_ != nullptr) observer_->on_deliver(q.d);
+          deliver_[idx](q.d);
+        });
+  }
+}
+
+void Network::drop(const Delivery& d, DropReason reason) {
+  RBCAST_DEBUG("drop " << d.kind << " " << d.from << "->" << d.to << ": "
+                       << to_string(reason));
+  if (observer_ != nullptr) observer_->on_drop(d, reason);
+}
+
+void Network::set_link_up(LinkId link, bool up) {
+  LinkState& ls = link_state(link);
+  if (ls.up() == up) return;
+  ls.set_up(up);
+  ++epoch_;
+  if (!up) {
+    // A failing link loses everything in flight on it, silently — the
+    // paper's failure model ("messages can ... be lost at any point").
+    auto& pending = inflight_[static_cast<std::size_t>(link.value)];
+    for (std::uint64_t event : pending) {
+      simulator_.cancel(sim::EventId{event});
+    }
+    pending.clear();
+  }
+  if (!ls.spec().is_access) {
+    routing_.notify_change();
+  }
+}
+
+bool Network::link_up(LinkId link) const { return link_state(link).up(); }
+
+std::vector<std::vector<HostId>> Network::clusters() const {
+  return topology_.clusters([this](LinkId id) { return link_up(id); });
+}
+
+std::vector<int> Network::host_cluster_index() const {
+  return topology_.host_cluster_index(
+      [this](LinkId id) { return link_up(id); });
+}
+
+bool Network::same_cluster(HostId x, HostId y) const {
+  const auto idx = host_cluster_index();
+  return idx[static_cast<std::size_t>(x.value)] ==
+         idx[static_cast<std::size_t>(y.value)];
+}
+
+bool Network::connected(HostId x, HostId y) const {
+  return topology_.connected(x, y, [this](LinkId id) { return link_up(id); });
+}
+
+const Server& Network::server(ServerId id) const {
+  RBCAST_ASSERT(id.valid() &&
+                static_cast<std::size_t>(id.value) < servers_.size());
+  return servers_[static_cast<std::size_t>(id.value)];
+}
+
+}  // namespace rbcast::net

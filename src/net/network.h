@@ -1,0 +1,124 @@
+// The complete communication subnetwork, as the hosts see it.
+//
+// Ties together links, servers and routing into the service interface the
+// paper postulates: a host can request delivery of a message to a single
+// destination, and a received message carries the cost bit. Everything else
+// — loss, duplication, reordering, link failures, routing transients — is
+// invisible to the application, exactly as assumed in Section 2.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/link.h"
+#include "net/message.h"
+#include "net/routing.h"
+#include "net/server.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace rbcast::net {
+
+struct NetConfig {
+  // Delay between a link state change and routes reflecting it.
+  sim::Duration convergence_lag{sim::milliseconds(200)};
+  // Per-hop uniform random extra delay in [0, jitter_max]; produces the
+  // out-of-order arrivals the paper's failure model includes.
+  sim::Duration jitter_max{sim::microseconds(500)};
+  // Hop budget; loops during routing transients die here.
+  int ttl{64};
+  // Finite output buffering: a packet whose serialization backlog on a
+  // link direction would exceed this is tail-dropped (real servers do not
+  // queue unboundedly). Generous default so only genuine congestion
+  // collapse triggers it.
+  sim::Duration max_queue_delay{sim::seconds(60)};
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const topo::Topology& topology,
+          NetConfig config, const util::RngFactory& rngs);
+
+  ~Network();  // out of line: Endpoint is an incomplete type here
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- host side ----------------------------------------------------------
+
+  // Registers the delivery upcall for `host`. Must be called once per host
+  // before any message addressed to it is sent.
+  void register_host(HostId host, DeliveryFn deliver);
+
+  // The sending interface handed to the protocol instance running on
+  // `host`. Valid for the lifetime of the Network.
+  [[nodiscard]] HostEndpoint& endpoint(HostId host);
+
+  // Requests unicast delivery (what endpoint() forwards to).
+  void send(HostId from, HostId to, std::any payload, std::size_t bytes,
+            std::string kind);
+
+  // --- fault control (used by FaultPlan) -----------------------------------
+
+  void set_link_up(LinkId link, bool up);
+  [[nodiscard]] bool link_up(LinkId link) const;
+
+  // Bumped on every effective link state change; lets observers cache
+  // cluster/connectivity computations between changes.
+  [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
+
+  // --- ground truth queries (metrics, tests, benches — NOT the protocol) ---
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] std::vector<std::vector<HostId>> clusters() const;
+  [[nodiscard]] std::vector<int> host_cluster_index() const;
+  [[nodiscard]] bool same_cluster(HostId x, HostId y) const;
+  [[nodiscard]] bool connected(HostId x, HostId y) const;
+
+  [[nodiscard]] Routing& routing() { return routing_; }
+  [[nodiscard]] const Server& server(ServerId id) const;
+
+  // Installs the metrics observer (nullptr to remove).
+  void set_observer(NetObserver* observer) { observer_ = observer; }
+
+ private:
+  struct Packet {
+    Delivery d;
+    ServerId at{kNoServer};
+    int ttl{0};
+  };
+
+  class Endpoint;
+
+  LinkState& link_state(LinkId id);
+  [[nodiscard]] const LinkState& link_state(LinkId id) const;
+  void arrive_at_server(Packet packet);
+  void deliver_to_host(Packet packet);
+  void drop(const Delivery& d, DropReason reason);
+  [[nodiscard]] sim::Duration jitter();
+
+  // Schedules `action` to fire after `delay`, tied to `link`: if the link
+  // goes down first, the event is cancelled — a failing link loses
+  // everything in flight on it.
+  void schedule_on_link(LinkId link, sim::Duration delay,
+                        std::function<void()> action);
+
+  sim::Simulator& simulator_;
+  const topo::Topology& topology_;
+  NetConfig config_;
+  NetObserver* observer_{nullptr};
+
+  std::vector<LinkState> links_;
+  Routing routing_;
+  std::vector<Server> servers_;
+  std::vector<DeliveryFn> deliver_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  util::Rng jitter_rng_;
+  std::uint64_t epoch_{0};
+  // In-flight arrival events per link; killed when the link goes down.
+  std::vector<std::set<std::uint64_t>> inflight_;
+};
+
+}  // namespace rbcast::net

@@ -1,0 +1,108 @@
+#include "net/routing.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace rbcast::net {
+
+namespace {
+
+// Probe size used to weight links: a typical data packet. The exact value
+// only matters relatively — expensive links must dominate cheap paths.
+constexpr std::size_t kProbeBytes = 512;
+
+double link_weight(const topo::LinkSpec& l) {
+  return sim::to_seconds(l.params.propagation_delay) +
+         sim::to_seconds(l.transmission_time(kProbeBytes));
+}
+
+}  // namespace
+
+Routing::Routing(sim::Simulator& simulator, const topo::Topology& topology,
+                 std::function<bool(LinkId)> link_up,
+                 sim::Duration convergence_lag)
+    : simulator_(simulator),
+      topology_(topology),
+      link_up_(std::move(link_up)),
+      lag_(convergence_lag) {
+  RBCAST_CHECK_ARG(convergence_lag >= 0, "negative convergence lag");
+  // No initial recompute here: the link_up predicate may not be ready yet
+  // (Network wires it to link states it builds after this). The owner calls
+  // recompute_now() once link states exist.
+}
+
+ServerId Routing::next_hop(ServerId from, ServerId to) const {
+  RBCAST_ASSERT(from.valid() && to.valid());
+  if (from == to) return to;
+  return next_hop_[static_cast<std::size_t>(from.value)]
+                  [static_cast<std::size_t>(to.value)];
+}
+
+std::vector<ServerId> Routing::path(ServerId from, ServerId to) const {
+  std::vector<ServerId> out{from};
+  ServerId at = from;
+  while (at != to) {
+    const ServerId next = next_hop(at, to);
+    if (!next.valid()) return {};  // unreachable
+    at = next;
+    out.push_back(at);
+    if (out.size() > topology_.server_count()) return {};  // stale loop
+  }
+  return out;
+}
+
+void Routing::notify_change() {
+  if (update_pending_) return;
+  update_pending_ = true;
+  simulator_.after(lag_, [this] {
+    update_pending_ = false;
+    recompute();
+  });
+}
+
+void Routing::recompute_now() { recompute(); }
+
+void Routing::recompute() {
+  ++recomputes_;
+  const std::size_t n = topology_.server_count();
+  next_hop_.assign(n, std::vector<ServerId>(n, kNoServer));
+
+  // Dijkstra from every server. Networks here are small (tens to a couple
+  // hundred servers); an all-sources recompute per topology change is the
+  // straightforward faithful model.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<ServerId> first_hop(n, kNoServer);
+    using QEntry = std::pair<double, std::int32_t>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[src] = 0.0;
+    pq.push({0.0, static_cast<std::int32_t>(src)});
+
+    while (!pq.empty()) {
+      auto [d, uv] = pq.top();
+      pq.pop();
+      const auto u = static_cast<std::size_t>(uv);
+      if (d > dist[u]) continue;
+      for (LinkId lid : topology_.trunk_links_of(ServerId{uv})) {
+        if (!link_up_(lid)) continue;
+        const topo::LinkSpec& l = topology_.link(lid);
+        const ServerId wv = l.other_end(ServerId{uv});
+        const auto w = static_cast<std::size_t>(wv.value);
+        const double nd = d + link_weight(l);
+        if (nd < dist[w]) {
+          dist[w] = nd;
+          // Record which neighbor of src this route leaves through.
+          first_hop[w] = (u == src) ? wv : first_hop[u];
+          pq.push({nd, wv.value});
+        }
+      }
+    }
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      next_hop_[src][dst] = first_hop[dst];
+    }
+  }
+}
+
+}  // namespace rbcast::net

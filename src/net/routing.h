@@ -1,0 +1,69 @@
+// Adaptive shortest-path routing over the server subnetwork.
+//
+// The paper assumes "networks with adaptive routing" (Section 2) — that is
+// what makes the communication-transitivity assumption hold: if x can talk
+// to y and y to z for long enough, routing eventually discovers an x-z
+// path. We model ARPANET-style link-state routing: every server forwards
+// along the globally shortest path, where path cost is the expected one-hop
+// delay (propagation + typical transmission time). Expensive links have
+// transmission times orders of magnitude above cheap ones, so routes prefer
+// cheap paths whenever one exists — exactly the behaviour the cost bit and
+// the cluster definition rely on.
+//
+// Adaptivity lag: after any topology change, new routes take effect only
+// `convergence_lag` later (routing protocols need time to flood and
+// recompute). In the window, packets follow stale routes and may be dropped
+// or loop — the protocol above must tolerate that, per the paper's failure
+// model.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace rbcast::net {
+
+class Routing {
+ public:
+  Routing(sim::Simulator& simulator, const topo::Topology& topology,
+          std::function<bool(LinkId)> link_up, sim::Duration convergence_lag);
+
+  // Next server on the current route from `from` toward `to`; kNoServer
+  // when no route is known. from == to returns `to`.
+  [[nodiscard]] ServerId next_hop(ServerId from, ServerId to) const;
+
+  // Full server path from `from` to `to` per the current routes, both
+  // endpoints included; empty when no route exists. Debug/analysis helper
+  // — forwarding itself is hop by hop.
+  [[nodiscard]] std::vector<ServerId> path(ServerId from, ServerId to) const;
+
+  // Informs routing that some link changed state; new routes take effect
+  // after the convergence lag (multiple changes coalesce into one update).
+  void notify_change();
+
+  // Recomputes immediately. Must be called once after construction, as soon
+  // as the link_up predicate is usable (the constructor defers it).
+  void recompute_now();
+
+  [[nodiscard]] sim::Duration convergence_lag() const { return lag_; }
+
+  // Number of recomputations performed (observability for tests).
+  [[nodiscard]] int recompute_count() const { return recomputes_; }
+
+ private:
+  void recompute();
+
+  sim::Simulator& simulator_;
+  const topo::Topology& topology_;
+  std::function<bool(LinkId)> link_up_;
+  sim::Duration lag_;
+  bool update_pending_{false};
+  int recomputes_{0};
+
+  // next_hop_[from][to]; kNoServer when unreachable.
+  std::vector<std::vector<ServerId>> next_hop_;
+};
+
+}  // namespace rbcast::net

@@ -1,0 +1,53 @@
+// rbcast — reliable broadcast in networks with nonprogrammable servers.
+//
+// Umbrella header: a full reproduction of Garcia-Molina, Kogan & Lynch,
+// "Reliable Broadcast in Networks with Nonprogrammable Servers",
+// ICDCS 1988.
+//
+// Layers (bottom to top):
+//   rbcast::util    — sequence sets (INFO sets), rng, stats, ids
+//   rbcast::sim     — deterministic discrete-event simulator
+//   rbcast::topo    — network topologies (clusters, paper figures)
+//   rbcast::net     — the nonprogrammable-server network substrate
+//   rbcast::core    — the paper's protocol + the basic baseline
+//   rbcast::trace   — metrics and convergence probes
+//   rbcast::harness — one-call experiment wiring
+//
+// Quickstart: see examples/quickstart.cpp.
+#pragma once
+
+#include "core/attachment.h"
+#include "core/basic_protocol.h"
+#include "core/broadcast_host.h"
+#include "core/config.h"
+#include "core/gap_filling.h"
+#include "core/gossip_protocol.h"
+#include "core/host_state.h"
+#include "core/messages.h"
+#include "core/multi_source.h"
+#include "core/ordered_delivery.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "model/checker.h"
+#include "model/model_node.h"
+#include "net/fault_plan.h"
+#include "net/link.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "net/server.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "topo/generators.h"
+#include "topo/topology.h"
+#include "trace/convergence.h"
+#include "trace/dot_export.h"
+#include "trace/event_log.h"
+#include "trace/metrics.h"
+#include "util/ids.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/seq_set.h"
+#include "util/stats.h"
+#include "util/table.h"

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace rbcast::sim {
+
+EventId EventQueue::schedule(TimePoint t, Action action) {
+  RBCAST_ASSERT_MSG(action != nullptr, "null event action");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq});
+  actions_.emplace(seq, std::move(action));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = actions_.find(id.value);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() &&
+         actions_.find(heap_.top().seq) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  skip_cancelled();
+  RBCAST_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  RBCAST_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.seq);
+  RBCAST_ASSERT(it != actions_.end());
+  Fired fired{top.time, std::move(it->second)};
+  actions_.erase(it);
+  --live_;
+  return fired;
+}
+
+}  // namespace rbcast::sim

@@ -1,0 +1,71 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed by (time, insertion sequence). The insertion-sequence
+// tie-break makes simultaneous events fire in the order they were
+// scheduled, which keeps runs deterministic. Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped on pop, which makes
+// cancel O(1) — important because the protocol arms and disarms many
+// acknowledgment timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace rbcast::sim {
+
+struct EventId {
+  std::uint64_t value{0};
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `t`. Returns a handle usable with
+  // cancel(). Precondition: action is non-null.
+  EventId schedule(TimePoint t, Action action);
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // already cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  struct Fired {
+    TimePoint time;
+    Action action;
+  };
+
+  // Removes and returns the earliest pending event; only when !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Action> actions_;  // seq -> action
+  std::uint64_t next_seq_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace rbcast::sim

@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace rbcast::sim {
+
+Simulator::Simulator() {
+  util::Logger::instance().set_clock(&now_);
+}
+
+Simulator::~Simulator() {
+  util::Logger::instance().set_clock(nullptr);
+}
+
+EventId Simulator::at(TimePoint t, EventQueue::Action action) {
+  RBCAST_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, std::move(action));
+}
+
+EventId Simulator::after(Duration d, EventQueue::Action action) {
+  RBCAST_ASSERT_MSG(d >= 0, "negative delay");
+  return queue_.schedule(now_ + d, std::move(action));
+}
+
+void Simulator::run_until(TimePoint t) {
+  RBCAST_ASSERT_MSG(t >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.action();
+  }
+  now_ = t;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.action();
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Simulator& simulator, Duration period,
+                           std::function<void()> action)
+    : simulator_(simulator), period_(period), action_(std::move(action)) {
+  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
+  RBCAST_CHECK_ARG(action_ != nullptr, "periodic task needs an action");
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(Duration first_delay) {
+  RBCAST_ASSERT_MSG(!pending_.valid(), "task already running");
+  RBCAST_ASSERT(first_delay >= 0);
+  pending_ = simulator_.after(first_delay, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (pending_.valid()) {
+    simulator_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void PeriodicTask::set_period(Duration period) {
+  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
+  period_ = period;
+}
+
+void PeriodicTask::fire() {
+  // Reschedule before running the action so the action may stop() us.
+  pending_ = simulator_.after(period_, [this] { fire(); });
+  action_();
+}
+
+}  // namespace rbcast::sim

@@ -1,0 +1,90 @@
+// The discrete-event simulation driver.
+//
+// Single-threaded: one virtual clock, one event queue. Every component of
+// the reproduction — links, servers, protocol hosts, fault injectors,
+// workload generators — schedules callbacks here. Determinism contract:
+// given the same topology, configuration and RNG seed, a run is
+// bit-for-bit reproducible.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace rbcast::sim {
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedules at an absolute time, which must not be in the past.
+  EventId at(TimePoint t, EventQueue::Action action);
+
+  // Schedules `d` ticks from now (d >= 0).
+  EventId after(Duration d, EventQueue::Action action);
+
+  // Cancels a pending event; false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs every event with time <= t, then advances the clock to t.
+  void run_until(TimePoint t);
+
+  // Convenience: run_until(now() + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  // Runs all pending events to exhaustion (only safe when no component
+  // self-reschedules forever; tests use it, full scenarios use run_until).
+  void run_to_completion();
+
+  // Fires the single earliest event, if any. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  TimePoint now_{0};
+  EventQueue queue_;
+};
+
+// A self-rescheduling periodic activity (the paper's "periodically
+// activated" procedures: attachment, INFO exchange, gap filling).
+//
+// The first firing can be offset (jittered) so that hosts do not act in
+// lock-step; after that the task fires every `period` ticks until stopped
+// or destroyed. Destroying the task cancels the pending event (RAII).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, Duration period,
+               std::function<void()> action);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  // Arms the task; the first firing happens `first_delay` from now.
+  void start(Duration first_delay);
+  void stop();
+
+  [[nodiscard]] bool running() const { return pending_.valid(); }
+  [[nodiscard]] Duration period() const { return period_; }
+
+  // Changes the period; takes effect at the next (re)scheduling.
+  void set_period(Duration period);
+
+ private:
+  void fire();
+
+  Simulator& simulator_;
+  Duration period_;
+  std::function<void()> action_;
+  EventId pending_{};
+};
+
+}  // namespace rbcast::sim

@@ -1,0 +1,33 @@
+// Virtual time.
+//
+// The simulation uses integer microsecond ticks. Integer time (rather than
+// floating point) makes event ordering exact and runs reproducible across
+// platforms; a microsecond resolves every delay the network model produces
+// (transmission times down to single bytes on multi-megabit links).
+#pragma once
+
+#include <cstdint>
+
+namespace rbcast::sim {
+
+// Absolute virtual time in microseconds since simulation start.
+using TimePoint = std::int64_t;
+// Relative virtual duration in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t n) { return n; }
+constexpr Duration milliseconds(std::int64_t n) { return n * 1000; }
+constexpr Duration seconds(std::int64_t n) { return n * 1'000'000; }
+
+// Converts a floating-point second count (e.g. a random exponential draw)
+// to ticks, rounding to the nearest microsecond, never below zero.
+constexpr Duration from_seconds(double s) {
+  const double us = s * 1e6;
+  return us <= 0.0 ? 0 : static_cast<Duration>(us + 0.5);
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace rbcast::sim

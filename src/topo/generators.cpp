@@ -1,0 +1,250 @@
+#include "topo/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace rbcast::topo {
+
+namespace {
+
+// Builds one cluster: `m` hosts, each on its own server, servers wired as a
+// cheap star around the first (head) server, optionally closed into a ring.
+// Returns the hosts and the head server.
+std::pair<std::vector<HostId>, ServerId> build_cluster(
+    Topology& t, int m, const LinkParams& cheap, bool ring) {
+  RBCAST_CHECK_ARG(m >= 1, "cluster needs at least one host");
+  std::vector<ServerId> servers;
+  std::vector<HostId> hosts;
+  servers.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const ServerId s = t.add_server();
+    servers.push_back(s);
+    hosts.push_back(t.add_host(s));
+    if (i > 0) {
+      t.add_link(servers[0], s, LinkClass::kCheap, cheap);
+    }
+  }
+  if (ring && m > 2) {
+    for (int i = 1; i < m; ++i) {
+      const ServerId u = servers[static_cast<std::size_t>(i)];
+      const ServerId v = servers[static_cast<std::size_t>((i % (m - 1)) + 1)];
+      if (u != v) t.add_link(u, v, LinkClass::kCheap, cheap);
+    }
+  }
+  return {hosts, servers[0]};
+}
+
+}  // namespace
+
+Wan make_clustered_wan(const ClusteredWanOptions& options) {
+  RBCAST_CHECK_ARG(options.clusters >= 1, "need at least one cluster");
+  RBCAST_CHECK_ARG(options.hosts_per_cluster >= 1,
+                   "need at least one host per cluster");
+
+  Wan wan;
+  Topology& t = wan.topology;
+  const int k = options.clusters;
+
+  for (int c = 0; c < k; ++c) {
+    auto [hosts, head] = build_cluster(t, options.hosts_per_cluster,
+                                       options.cheap,
+                                       options.intra_cluster_ring);
+    wan.cluster_hosts.push_back(std::move(hosts));
+    wan.cluster_head_server.push_back(head);
+  }
+
+  util::Rng rng{options.seed};
+  auto trunk = [&](int c1, int c2) {
+    const LinkId id = t.add_link(wan.cluster_head_server[static_cast<std::size_t>(c1)],
+                                 wan.cluster_head_server[static_cast<std::size_t>(c2)],
+                                 LinkClass::kExpensive, options.expensive);
+    wan.trunks.push_back(id);
+  };
+
+  switch (options.shape) {
+    case TrunkShape::kLine:
+      for (int c = 1; c < k; ++c) trunk(c - 1, c);
+      break;
+    case TrunkShape::kRing:
+      for (int c = 1; c < k; ++c) trunk(c - 1, c);
+      if (k > 2) trunk(k - 1, 0);
+      break;
+    case TrunkShape::kStar:
+      for (int c = 1; c < k; ++c) trunk(0, c);
+      break;
+    case TrunkShape::kRandomTree:
+      for (int c = 1; c < k; ++c) {
+        trunk(static_cast<int>(rng.uniform_int(0, c - 1)), c);
+      }
+      break;
+  }
+
+  // Extra random trunks for path diversity.
+  const int extras = static_cast<int>(options.extra_trunk_fraction * k);
+  std::set<std::pair<int, int>> existing;
+  for (LinkId lid : wan.trunks) {
+    const LinkSpec& l = t.link(lid);
+    existing.insert({std::min(l.a.value, l.b.value),
+                     std::max(l.a.value, l.b.value)});
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extras && attempts < 100 * (extras + 1) && k > 2) {
+    ++attempts;
+    const int c1 = static_cast<int>(rng.uniform_int(0, k - 1));
+    const int c2 = static_cast<int>(rng.uniform_int(0, k - 1));
+    if (c1 == c2) continue;
+    const ServerId a = wan.cluster_head_server[static_cast<std::size_t>(c1)];
+    const ServerId b = wan.cluster_head_server[static_cast<std::size_t>(c2)];
+    const auto key = std::make_pair(std::min(a.value, b.value),
+                                    std::max(a.value, b.value));
+    if (!existing.insert(key).second) continue;
+    trunk(c1, c2);
+    ++added;
+  }
+  return wan;
+}
+
+Wan make_single_cluster(int hosts, LinkParams cheap) {
+  ClusteredWanOptions options;
+  options.clusters = 1;
+  options.hosts_per_cluster = hosts;
+  options.cheap = cheap;
+  return make_clustered_wan(options);
+}
+
+Arpanet make_arpanet() {
+  Arpanet net;
+  Topology& t = net.topology;
+
+  // IMPs. One per site; trunk wiring below follows the familiar two-coast
+  // shape of the c. 1980 logical maps (simplified).
+  const char* site_names[] = {
+      // West
+      "SRI", "UCLA", "UCSB", "STANFORD", "AMES", "RAND", "SDC", "ISI",
+      "UTAH",
+      // Middle
+      "ILLINOIS", "GWC", "CASE", "CMU",
+      // East
+      "BBN", "MIT", "HARVARD", "LINCOLN", "NBS", "MITRE", "ARPA"};
+  for (const char* name : site_names) {
+    net.sites.emplace(name, t.add_server());
+  }
+  auto imp = [&](const char* name) { return net.sites.at(name); };
+  auto trunk = [&](const char* a, const char* b) {
+    net.trunks.push_back(
+        t.add_link(imp(a), imp(b), LinkClass::kExpensive));
+  };
+
+  // West-coast mesh.
+  trunk("SRI", "UCLA");
+  trunk("SRI", "STANFORD");
+  trunk("SRI", "AMES");
+  trunk("SRI", "UTAH");
+  trunk("UCLA", "UCSB");
+  trunk("UCLA", "RAND");
+  trunk("UCSB", "AMES");
+  trunk("RAND", "SDC");
+  trunk("SDC", "ISI");
+  trunk("ISI", "UCLA");
+  trunk("STANFORD", "AMES");
+  // Cross-country paths.
+  trunk("UTAH", "ILLINOIS");
+  trunk("UTAH", "GWC");
+  trunk("RAND", "GWC");
+  trunk("ILLINOIS", "MIT");
+  trunk("GWC", "CASE");
+  trunk("CASE", "CMU");
+  trunk("CMU", "LINCOLN");
+  trunk("ISI", "MITRE");
+  // East-coast mesh.
+  trunk("MIT", "BBN");
+  trunk("MIT", "LINCOLN");
+  trunk("BBN", "HARVARD");
+  trunk("HARVARD", "ARPA");
+  trunk("LINCOLN", "NBS");
+  trunk("NBS", "MITRE");
+  trunk("MITRE", "ARPA");
+  trunk("ARPA", "BBN");
+
+  // Hosts. Big sites run a campus LAN (extra servers on cheap links, one
+  // host each — a mid-80s cluster); small sites attach a single host to
+  // their IMP; the rest are pure switches.
+  auto lan = [&](const char* site, int machines) {
+    std::vector<HostId>& here = net.hosts_at[site];
+    here.push_back(t.add_host(imp(site)));
+    net.hosts.push_back(here.back());
+    for (int k = 1; k < machines; ++k) {
+      const ServerId lan_switch = t.add_server();
+      t.add_link(imp(site), lan_switch, LinkClass::kCheap);
+      here.push_back(t.add_host(lan_switch));
+      net.hosts.push_back(here.back());
+    }
+  };
+  lan("MIT", 3);
+  lan("BBN", 2);
+  lan("SRI", 2);
+  lan("UCLA", 2);
+  lan("ISI", 2);
+  for (const char* site :
+       {"UTAH", "STANFORD", "RAND", "ILLINOIS", "CMU", "HARVARD", "NBS"}) {
+    lan(site, 1);
+  }
+  return net;
+}
+
+Figure31 make_figure_3_1() {
+  Figure31 fig;
+  Topology& t = fig.topology;
+  fig.s1 = t.add_server();
+  fig.s2 = t.add_server();
+  fig.s3 = t.add_server();
+  fig.s4 = t.add_server();  // pure switch, no host
+  fig.h1 = t.add_host(fig.s1);
+  fig.h2 = t.add_host(fig.s2);
+  fig.h3 = t.add_host(fig.s3);
+  fig.s1s4 = t.add_link(fig.s1, fig.s4, LinkClass::kExpensive);
+  fig.s2s4 = t.add_link(fig.s2, fig.s4, LinkClass::kExpensive);
+  fig.s3s4 = t.add_link(fig.s3, fig.s4, LinkClass::kExpensive);
+  return fig;
+}
+
+Figure32 make_figure_3_2() {
+  Figure32 fig;
+  Topology& t = fig.topology;
+
+  auto cheap = LinkParams::cheap_defaults();
+  auto [r_hosts, r_head] = build_cluster(t, 2, cheap, false);
+  auto [cp_hosts, cp_head] = build_cluster(t, 2, cheap, false);
+  auto [cpp_hosts, cpp_head] = build_cluster(t, 2, cheap, false);
+  auto [c_hosts, c_head] = build_cluster(t, 3, cheap, false);
+
+  fig.cluster_hosts = {r_hosts, cp_hosts, cpp_hosts, c_hosts};
+  fig.source = r_hosts.front();
+
+  fig.trunk_r_cp = t.add_link(r_head, cp_head, LinkClass::kExpensive);
+  fig.trunk_r_cpp = t.add_link(r_head, cpp_head, LinkClass::kExpensive);
+  fig.trunk_cp_c = t.add_link(cp_head, c_head, LinkClass::kExpensive);
+  fig.trunk_cpp_c = t.add_link(cpp_head, c_head, LinkClass::kExpensive);
+  return fig;
+}
+
+Figure41 make_figure_4_1() {
+  Figure41 fig;
+  Topology& t = fig.topology;
+  const ServerId ss = t.add_server();
+  const ServerId si = t.add_server();
+  const ServerId sj = t.add_server();
+  fig.s = t.add_host(ss);
+  fig.i = t.add_host(si);
+  fig.j = t.add_host(sj);
+  fig.trunk_si = t.add_link(ss, si, LinkClass::kExpensive);
+  fig.trunk_sj = t.add_link(ss, sj, LinkClass::kExpensive);
+  fig.trunk_ij = t.add_link(si, sj, LinkClass::kExpensive);
+  return fig;
+}
+
+}  // namespace rbcast::topo

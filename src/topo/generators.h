@@ -1,0 +1,125 @@
+// Topology generators: parameterized WANs plus the exact scenarios of the
+// paper's Figures 3.1, 3.2 and 4.1.
+//
+// The canonical shape (Section 2's motivation) is a set of local clusters —
+// hosts joined by cheap high-bandwidth links — integrated into a long-haul
+// network of expensive low-bandwidth trunks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace rbcast::topo {
+
+// How the expensive trunks connect cluster gateways.
+enum class TrunkShape {
+  kLine,        // c0 - c1 - c2 - ...
+  kRing,        // line plus a closing trunk
+  kStar,        // all clusters attached to cluster 0
+  kRandomTree,  // uniform random spanning tree
+};
+
+struct ClusteredWanOptions {
+  int clusters{3};
+  int hosts_per_cluster{3};
+  TrunkShape shape{TrunkShape::kRing};
+  // Extra random expensive trunks added on top of the base shape, as a
+  // fraction of `clusters` (adds path diversity for partition experiments).
+  double extra_trunk_fraction{0.0};
+  // Intra-cluster wiring: star around the cluster head; if true, also close
+  // a cheap ring so single cheap-link failures do not split the cluster.
+  bool intra_cluster_ring{false};
+  LinkParams cheap{LinkParams::cheap_defaults()};
+  LinkParams expensive{LinkParams::expensive_defaults()};
+  std::uint64_t seed{1};
+};
+
+// A generated WAN with its intended cluster structure.
+struct Wan {
+  Topology topology;
+  // Planned clusters (ground truth when all links are up), host ids sorted.
+  std::vector<std::vector<HostId>> cluster_hosts;
+  // The server hosting cluster c's head (first host).
+  std::vector<ServerId> cluster_head_server;
+  // All inter-cluster (expensive) trunks.
+  std::vector<LinkId> trunks;
+};
+
+[[nodiscard]] Wan make_clustered_wan(const ClusteredWanOptions& options);
+
+// One cluster of `hosts` hosts on a cheap star — the source-congestion
+// scenario (E5) and a minimal playground.
+[[nodiscard]] Wan make_single_cluster(int hosts,
+                                      LinkParams cheap = LinkParams::cheap_defaults());
+
+// --- A stylized ARPANET ----------------------------------------------
+//
+// The paper's environment is explicitly the ARPANET ("Arpanet users cannot
+// program that network's servers (IMPs)"). This generator builds a
+// stylized circa-1980 ARPANET: ~20 named sites wired with 56 kbit/s
+// trunks (all expensive — exactly the historical line speed the defaults
+// model), plus campus LANs (cheap) at the big sites. Geography is
+// simplified; the shape — two coasts bridged by a few long-haul paths —
+// is the real thing, and it is exactly the topology class the paper's
+// cluster machinery was designed for.
+struct Arpanet {
+  Topology topology;
+  // Site name -> IMP (server). Every trunk connects two of these.
+  std::map<std::string, ServerId> sites;
+  std::vector<LinkId> trunks;
+  // All participating hosts; hosts_at maps a site to its hosts.
+  std::vector<HostId> hosts;
+  std::map<std::string, std::vector<HostId>> hosts_at;
+};
+[[nodiscard]] Arpanet make_arpanet();
+
+// --- Figure 3.1 (Section 3) -------------------------------------------
+// Three hosts h1..h3 on servers s1..s3, joined through a pure switch s4:
+//     h1-s1 --- s4 --- s2-h2
+//                |
+//               s3-h3
+// All trunks expensive; each host is its own cluster. The optimal
+// (in-network multicast) broadcast of one message uses each of the three
+// trunks exactly once; nonprogrammable servers cannot achieve that.
+struct Figure31 {
+  Topology topology;
+  HostId h1, h2, h3;
+  ServerId s1, s2, s3, s4;
+  LinkId s1s4, s2s4, s3s4;
+};
+[[nodiscard]] Figure31 make_figure_3_1();
+
+// --- Figure 3.2 (Sections 3-4) ------------------------------------------
+// Four clusters: R (source's cluster), C' and C'' (children of R), and C,
+// which can reach both C' and C'' over expensive trunks and must pick the
+// prompter parent.
+//
+//        R (source + 1)
+//       /  \            trunks: R-C', R-C'', C'-C, C''-C
+//      C'   C''         all inter-cluster links expensive
+//       \   /
+//        C (3 hosts)
+struct Figure32 {
+  Topology topology;
+  std::vector<std::vector<HostId>> cluster_hosts;  // [R, C', C'', C]
+  HostId source;
+  LinkId trunk_r_cp, trunk_r_cpp, trunk_cp_c, trunk_cpp_c;
+};
+[[nodiscard]] Figure32 make_figure_3_2();
+
+// --- Figure 4.1 (Section 4.4) -------------------------------------------
+// Three single-host clusters s, i, j on an expensive triangle, so that when
+// the source s is cut off, i and j can still communicate and must fill each
+// other's gaps without being parent-graph neighbors.
+struct Figure41 {
+  Topology topology;
+  HostId s, i, j;
+  LinkId trunk_si, trunk_sj, trunk_ij;
+};
+[[nodiscard]] Figure41 make_figure_4_1();
+
+}  // namespace rbcast::topo

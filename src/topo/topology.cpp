@@ -1,0 +1,244 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace rbcast::topo {
+
+LinkParams LinkParams::cheap_defaults() {
+  return LinkParams{
+      .propagation_delay = sim::milliseconds(1),
+      .bandwidth_bytes_per_sec = 10e6 / 8,  // 10 Mbit/s
+      .loss_probability = 0.0,
+      .duplication_probability = 0.0,
+  };
+}
+
+LinkParams LinkParams::expensive_defaults() {
+  return LinkParams{
+      .propagation_delay = sim::milliseconds(20),
+      .bandwidth_bytes_per_sec = 56e3 / 8,  // 56 kbit/s trunk
+      .loss_probability = 0.0,
+      .duplication_probability = 0.0,
+  };
+}
+
+sim::Duration LinkSpec::transmission_time(std::size_t bytes) const {
+  RBCAST_ASSERT(params.bandwidth_bytes_per_sec > 0);
+  const double secs =
+      static_cast<double>(bytes) / params.bandwidth_bytes_per_sec;
+  return std::max<sim::Duration>(1, sim::from_seconds(secs));
+}
+
+ServerId Topology::add_server() {
+  const ServerId id{static_cast<std::int32_t>(servers_.size())};
+  servers_.push_back(ServerSpec{.id = id, .has_host = false});
+  trunks_by_server_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(ServerId a, ServerId b, LinkClass link_class,
+                          LinkParams params) {
+  RBCAST_CHECK_ARG(a.valid() && static_cast<std::size_t>(a.value) < servers_.size(),
+                   "add_link: bad endpoint a");
+  RBCAST_CHECK_ARG(b.valid() && static_cast<std::size_t>(b.value) < servers_.size(),
+                   "add_link: bad endpoint b");
+  RBCAST_CHECK_ARG(a != b, "add_link: self-loop");
+  const LinkId id{static_cast<std::int32_t>(links_.size())};
+  links_.push_back(LinkSpec{.id = id,
+                            .a = a,
+                            .b = b,
+                            .link_class = link_class,
+                            .params = params,
+                            .is_access = false});
+  trunks_by_server_[static_cast<std::size_t>(a.value)].push_back(id);
+  trunks_by_server_[static_cast<std::size_t>(b.value)].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_link(ServerId a, ServerId b, LinkClass link_class) {
+  return add_link(a, b, link_class,
+                  link_class == LinkClass::kCheap
+                      ? LinkParams::cheap_defaults()
+                      : LinkParams::expensive_defaults());
+}
+
+HostId Topology::add_host(ServerId server) {
+  LinkParams p = LinkParams::cheap_defaults();
+  p.propagation_delay = sim::microseconds(100);  // host NIC, essentially local
+  return add_host(server, p);
+}
+
+HostId Topology::add_host(ServerId server, LinkParams access_params) {
+  RBCAST_CHECK_ARG(
+      server.valid() && static_cast<std::size_t>(server.value) < servers_.size(),
+      "add_host: bad server");
+  ServerSpec& sv = servers_[static_cast<std::size_t>(server.value)];
+  RBCAST_CHECK_ARG(!sv.has_host, "add_host: server already has a host");
+  sv.has_host = true;
+
+  const HostId hid{static_cast<std::int32_t>(hosts_.size())};
+  const LinkId lid{static_cast<std::int32_t>(links_.size())};
+  // The access link is cheap by definition: a host and its server are
+  // co-located. It is a real link so that it can fail (host crash model),
+  // but it is not a trunk and never appears in routing.
+  links_.push_back(LinkSpec{.id = lid,
+                            .a = server,
+                            .b = server,  // degenerate: host side
+                            .link_class = LinkClass::kCheap,
+                            .params = access_params,
+                            .is_access = true});
+  hosts_.push_back(HostSpec{.id = hid, .server = server, .access_link = lid});
+  return hid;
+}
+
+void Topology::set_link_params(LinkId link, LinkParams params) {
+  RBCAST_CHECK_ARG(
+      link.valid() && static_cast<std::size_t>(link.value) < links_.size(),
+      "set_link_params: unknown link");
+  links_[static_cast<std::size_t>(link.value)].params = params;
+}
+
+const ServerSpec& Topology::server(ServerId id) const {
+  RBCAST_ASSERT(id.valid() &&
+                static_cast<std::size_t>(id.value) < servers_.size());
+  return servers_[static_cast<std::size_t>(id.value)];
+}
+
+const HostSpec& Topology::host(HostId id) const {
+  RBCAST_ASSERT(id.valid() && static_cast<std::size_t>(id.value) < hosts_.size());
+  return hosts_[static_cast<std::size_t>(id.value)];
+}
+
+const LinkSpec& Topology::link(LinkId id) const {
+  RBCAST_ASSERT(id.valid() && static_cast<std::size_t>(id.value) < links_.size());
+  return links_[static_cast<std::size_t>(id.value)];
+}
+
+std::vector<HostId> Topology::host_ids() const {
+  std::vector<HostId> out;
+  out.reserve(hosts_.size());
+  for (const HostSpec& h : hosts_) out.push_back(h.id);
+  return out;
+}
+
+const std::vector<LinkId>& Topology::trunk_links_of(ServerId s) const {
+  RBCAST_ASSERT(s.valid() &&
+                static_cast<std::size_t>(s.value) < trunks_by_server_.size());
+  return trunks_by_server_[static_cast<std::size_t>(s.value)];
+}
+
+namespace {
+
+// Union-find over server indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<HostId>> Topology::clusters(
+    const std::function<bool(LinkId)>& is_up) const {
+  // Servers joined by operational cheap trunks form cheap components; a
+  // host belongs to its server's component iff its access link is up.
+  UnionFind uf(servers_.size());
+  for (const LinkSpec& l : links_) {
+    if (l.is_access) continue;
+    if (l.link_class != LinkClass::kCheap) continue;
+    if (!is_up(l.id)) continue;
+    uf.unite(static_cast<std::size_t>(l.a.value),
+             static_cast<std::size_t>(l.b.value));
+  }
+
+  std::vector<std::vector<HostId>> by_root(servers_.size());
+  std::vector<std::vector<HostId>> out;
+  for (const HostSpec& h : hosts_) {
+    if (!is_up(h.access_link)) {
+      // A crashed host is unreachable; the paper treats it as absent. It
+      // still forms a singleton cluster from its own point of view.
+      out.push_back({h.id});
+      continue;
+    }
+    by_root[uf.find(static_cast<std::size_t>(h.server.value))].push_back(h.id);
+  }
+  for (auto& group : by_root) {
+    if (!group.empty()) {
+      std::sort(group.begin(), group.end());
+      out.push_back(std::move(group));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+std::vector<int> Topology::host_cluster_index(
+    const std::function<bool(LinkId)>& is_up) const {
+  const auto groups = clusters(is_up);
+  std::vector<int> idx(hosts_.size(), -1);
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    for (HostId h : groups[c]) idx[static_cast<std::size_t>(h.value)] =
+        static_cast<int>(c);
+  }
+  return idx;
+}
+
+bool Topology::connected(HostId x, HostId y,
+                         const std::function<bool(LinkId)>& is_up) const {
+  const HostSpec& hx = host(x);
+  const HostSpec& hy = host(y);
+  if (!is_up(hx.access_link) || !is_up(hy.access_link)) return false;
+  if (hx.server == hy.server) return true;
+
+  std::vector<bool> seen(servers_.size(), false);
+  std::queue<ServerId> frontier;
+  frontier.push(hx.server);
+  seen[static_cast<std::size_t>(hx.server.value)] = true;
+  while (!frontier.empty()) {
+    const ServerId s = frontier.front();
+    frontier.pop();
+    if (s == hy.server) return true;
+    for (LinkId lid : trunk_links_of(s)) {
+      if (!is_up(lid)) continue;
+      const ServerId t = link(lid).other_end(s);
+      if (!seen[static_cast<std::size_t>(t.value)]) {
+        seen[static_cast<std::size_t>(t.value)] = true;
+        frontier.push(t);
+      }
+    }
+  }
+  return false;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << server_count() << " servers, " << host_count() << " hosts, ";
+  std::size_t cheap = 0;
+  std::size_t expensive = 0;
+  for (const LinkSpec& l : links_) {
+    if (l.is_access) continue;
+    (l.link_class == LinkClass::kCheap ? cheap : expensive)++;
+  }
+  os << cheap << " cheap + " << expensive << " expensive trunks";
+  return os.str();
+}
+
+}  // namespace rbcast::topo

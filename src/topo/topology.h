@@ -1,0 +1,138 @@
+// Static description of a network: servers, links, hosts.
+//
+// Mirrors the paper's Section 2 environment. Hosts are computers running
+// the broadcast application; each is attached to exactly one server through
+// an *access link*. Servers are interconnected by point-to-point
+// bidirectional links. Every link is either *cheap* (high bandwidth, e.g. a
+// LAN segment) or *expensive* (low bandwidth, e.g. a long-haul trunk); a
+// *cluster* is a maximal group of hosts that can reach each other over
+// cheap operational links only.
+//
+// Modelling the host-server attachment as a link of its own lets a host
+// "crash" exactly the way the paper prescribes: "if a host crashes, the
+// effect ... is the same as if the link connecting the host to its server
+// went down".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace rbcast::topo {
+
+enum class LinkClass { kCheap, kExpensive };
+
+[[nodiscard]] constexpr const char* to_string(LinkClass c) {
+  return c == LinkClass::kCheap ? "cheap" : "expensive";
+}
+
+// Delay/loss parameters of one link. Defaults below model a mid-80s
+// internetwork: 10 Mbit/s LAN segments vs 56 kbit/s long-haul trunks.
+struct LinkParams {
+  sim::Duration propagation_delay{sim::milliseconds(1)};
+  double bandwidth_bytes_per_sec{10e6 / 8};
+  double loss_probability{0.0};
+  double duplication_probability{0.0};
+
+  static LinkParams cheap_defaults();
+  static LinkParams expensive_defaults();
+};
+
+struct LinkSpec {
+  LinkId id;
+  ServerId a;
+  ServerId b;
+  LinkClass link_class{LinkClass::kCheap};
+  LinkParams params;
+  bool is_access{false};  // host-server attachment link
+
+  [[nodiscard]] ServerId other_end(ServerId s) const {
+    return s == a ? b : a;
+  }
+
+  // Time to clock one message of `bytes` onto the wire.
+  [[nodiscard]] sim::Duration transmission_time(std::size_t bytes) const;
+};
+
+struct HostSpec {
+  HostId id;
+  ServerId server;   // the server this host is attached to
+  LinkId access_link;
+};
+
+struct ServerSpec {
+  ServerId id;
+  bool has_host{false};  // pure switches have no host
+};
+
+class Topology {
+ public:
+  // --- construction -----------------------------------------------------
+
+  ServerId add_server();
+
+  // Adds a server-to-server link. a != b, both must exist.
+  LinkId add_link(ServerId a, ServerId b, LinkClass link_class,
+                  LinkParams params);
+  LinkId add_link(ServerId a, ServerId b, LinkClass link_class);
+
+  // Adds a host attached to `server` (at most one host per server), with a
+  // dedicated cheap access link.
+  HostId add_host(ServerId server);
+  HostId add_host(ServerId server, LinkParams access_params);
+
+  // Replaces a link's delay/loss parameters (scenario biasing, e.g. one
+  // deliberately slow trunk). Only valid before the network is built.
+  void set_link_params(LinkId link, LinkParams params);
+
+  // --- accessors --------------------------------------------------------
+
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const ServerSpec& server(ServerId id) const;
+  [[nodiscard]] const HostSpec& host(HostId id) const;
+  [[nodiscard]] const LinkSpec& link(LinkId id) const;
+
+  [[nodiscard]] const std::vector<ServerSpec>& servers() const {
+    return servers_;
+  }
+  [[nodiscard]] const std::vector<HostSpec>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<LinkSpec>& links() const { return links_; }
+
+  [[nodiscard]] std::vector<HostId> host_ids() const;
+
+  // Server-to-server links incident to `s` (excludes access links).
+  [[nodiscard]] const std::vector<LinkId>& trunk_links_of(ServerId s) const;
+
+  // --- derived structure ------------------------------------------------
+
+  // Ground-truth clusters: connected components of hosts under *cheap*
+  // links only, where a link participates iff is_up(link). Returns one
+  // sorted vector of HostIds per cluster, ordered by smallest member.
+  [[nodiscard]] std::vector<std::vector<HostId>> clusters(
+      const std::function<bool(LinkId)>& is_up) const;
+
+  // Cluster index per host (aligned with clusters()); -1 never occurs.
+  [[nodiscard]] std::vector<int> host_cluster_index(
+      const std::function<bool(LinkId)>& is_up) const;
+
+  // True iff a path of operational links (any class) connects the hosts'
+  // servers, including both access links.
+  [[nodiscard]] bool connected(HostId x, HostId y,
+                               const std::function<bool(LinkId)>& is_up) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<ServerSpec> servers_;
+  std::vector<HostSpec> hosts_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<LinkId>> trunks_by_server_;
+};
+
+}  // namespace rbcast::topo

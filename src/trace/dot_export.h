@@ -1,0 +1,36 @@
+// Graphviz export of protocol and network structure.
+//
+// Two views, mirroring the paper's two figures of structure:
+//  * the host parent graph (Figure 3.2's boxes and arrows): one node per
+//    host, an edge from each host to its parent, hosts grouped into
+//    subgraph clusters by ground truth, leaders highlighted;
+//  * the physical topology: servers, hosts and links, expensive trunks
+//    dashed.
+//
+// Render with:  dot -Tsvg graph.dot -o graph.svg
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_host.h"
+#include "net/network.h"
+
+namespace rbcast::trace {
+
+// Writes the current host parent graph. `hosts` indexed by HostId value.
+void write_parent_graph_dot(std::ostream& os,
+                            const std::vector<const core::BroadcastHost*>& hosts,
+                            const net::Network& network, HostId source);
+
+// Writes the physical topology (servers, hosts, links).
+void write_topology_dot(std::ostream& os, const net::Network& network);
+
+// Convenience: both as strings.
+[[nodiscard]] std::string parent_graph_dot(
+    const std::vector<const core::BroadcastHost*>& hosts,
+    const net::Network& network, HostId source);
+[[nodiscard]] std::string topology_dot(const net::Network& network);
+
+}  // namespace rbcast::trace

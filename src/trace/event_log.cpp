@@ -1,0 +1,115 @@
+#include "trace/event_log.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rbcast::trace {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kAttachRequested:
+      return "attach-requested";
+    case EventType::kAttached:
+      return "attached";
+    case EventType::kDetached:
+      return "detached";
+    case EventType::kParentTimeout:
+      return "parent-timeout";
+    case EventType::kCycleBroken:
+      return "cycle-broken";
+    case EventType::kAttachTimeout:
+      return "attach-timeout";
+    case EventType::kNewMaxRejected:
+      return "new-max-rejected";
+    case EventType::kDelivered:
+      return "delivered";
+  }
+  return "?";
+}
+
+std::string Event::describe() const {
+  std::ostringstream os;
+  os << '[' << sim::to_seconds(at) << "s] " << host << ' '
+     << to_string(type);
+  if (peer.valid()) os << ' ' << peer;
+  if (seq != 0) os << " #" << seq;
+  if (!detail.empty()) os << " (" << detail << ')';
+  return os.str();
+}
+
+void EventLog::push(EventType type, HostId host, HostId peer, util::Seq seq,
+                    std::string detail) {
+  events_.push_back(Event{simulator_.now(), type, host, peer, seq,
+                          std::move(detail)});
+}
+
+void EventLog::on_attach_requested(HostId host, HostId candidate,
+                                   const std::string& rule) {
+  push(EventType::kAttachRequested, host, candidate, 0, rule);
+}
+
+void EventLog::on_attached(HostId host, HostId parent) {
+  push(EventType::kAttached, host, parent, 0, {});
+}
+
+void EventLog::on_detached(HostId host, HostId old_parent, bool timeout) {
+  push(timeout ? EventType::kParentTimeout : EventType::kDetached, host,
+       old_parent, 0, {});
+}
+
+void EventLog::on_cycle_broken(HostId host) {
+  push(EventType::kCycleBroken, host, kNoHost, 0, {});
+}
+
+void EventLog::on_attach_timeout(HostId host, HostId candidate) {
+  push(EventType::kAttachTimeout, host, candidate, 0, {});
+}
+
+void EventLog::on_new_max_rejected(HostId host, HostId from, util::Seq seq) {
+  push(EventType::kNewMaxRejected, host, from, seq, {});
+}
+
+void EventLog::on_delivered(HostId host, util::Seq seq) {
+  push(EventType::kDelivered, host, kNoHost, seq, {});
+}
+
+std::size_t EventLog::count(EventType type) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::events_of(HostId host) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.host == host) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::between(sim::TimePoint from,
+                                     sim::TimePoint to) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.at >= from && e.at < to) out.push_back(e);
+  }
+  return out;
+}
+
+void EventLog::dump(std::ostream& os, bool include_deliveries) const {
+  std::size_t deliveries = 0;
+  for (const Event& e : events_) {
+    if (e.type == EventType::kDelivered && !include_deliveries) {
+      ++deliveries;
+      continue;
+    }
+    os << e.describe() << '\n';
+  }
+  if (deliveries > 0) {
+    os << "(+ " << deliveries << " delivery events)\n";
+  }
+}
+
+}  // namespace rbcast::trace

@@ -1,0 +1,210 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.h"
+
+namespace rbcast::trace {
+
+namespace {
+const util::Accumulator kEmptyAccumulator{};
+}
+
+Metrics::Metrics(sim::Simulator& simulator, net::Network& network)
+    : simulator_(simulator), network_(network) {}
+
+void Metrics::attach() { network_.set_observer(this); }
+
+bool Metrics::is_data_kind(const std::string& kind) {
+  return kind == "data" || kind == "gapfill" || kind == "data_retx";
+}
+
+bool Metrics::crosses_clusters(HostId a, HostId b) {
+  if (cluster_epoch_ != network_.topology_epoch()) {
+    cluster_index_ = network_.host_cluster_index();
+    cluster_epoch_ = network_.topology_epoch();
+  }
+  return cluster_index_[static_cast<std::size_t>(a.value)] !=
+         cluster_index_[static_cast<std::size_t>(b.value)];
+}
+
+void Metrics::on_host_send(const net::Delivery& d) {
+  counters_.inc("send." + d.kind);
+  counters_.inc("send_bytes." + d.kind, d.bytes);
+  if (crosses_clusters(d.from, d.to)) {
+    counters_.inc("send.intercluster." + d.kind);
+    counters_.inc("send_bytes.intercluster." + d.kind, d.bytes);
+  }
+}
+
+void Metrics::on_deliver(const net::Delivery& d) {
+  counters_.inc("deliver." + d.kind);
+}
+
+void Metrics::on_drop(const net::Delivery& d, net::DropReason reason) {
+  counters_.inc(std::string("drop.") + to_string(reason));
+  counters_.inc("drop_kind." + d.kind);
+}
+
+void Metrics::on_link_transmit(LinkId link, const net::Delivery& d) {
+  const auto& spec = network_.topology().link(link);
+  const char* cls = topo::to_string(spec.link_class);
+  counters_.inc(std::string("link.") + cls);
+  counters_.inc(std::string("link.") + cls + "." + d.kind);
+  counters_.inc(std::string("link_bytes.") + cls, d.bytes);
+  link_busy_[link] += spec.transmission_time(d.bytes);
+}
+
+void Metrics::on_queue_backlog(ServerId server, LinkId /*link*/,
+                               sim::Duration backlog) {
+  backlog_[server].add(sim::to_seconds(backlog));
+}
+
+void Metrics::record_broadcast(Seq seq) {
+  broadcast_at_[seq] = simulator_.now();
+}
+
+void Metrics::record_delivery(HostId host, Seq seq) {
+  auto& per_host = first_delivery_[seq];
+  per_host.emplace(host, simulator_.now());  // keeps the first one
+}
+
+std::uint64_t Metrics::counter_prefix_sum(const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, value] : counters_.all()) {
+    if (name.rfind(prefix, 0) == 0) sum += value;
+  }
+  return sum;
+}
+
+std::uint64_t Metrics::intercluster_data_sends() const {
+  return counter("send.intercluster.data") +
+         counter("send.intercluster.gapfill") +
+         counter("send.intercluster.data_retx");
+}
+
+std::uint64_t Metrics::intercluster_control_sends() const {
+  return counter_prefix_sum("send.intercluster.") - intercluster_data_sends();
+}
+
+double Metrics::delivery_latency(HostId host, Seq seq) const {
+  auto bit = broadcast_at_.find(seq);
+  if (bit == broadcast_at_.end()) return -1.0;
+  auto sit = first_delivery_.find(seq);
+  if (sit == first_delivery_.end()) return -1.0;
+  auto hit = sit->second.find(host);
+  if (hit == sit->second.end()) return -1.0;
+  return sim::to_seconds(hit->second - bit->second);
+}
+
+util::Samples Metrics::all_latencies() const {
+  return latencies_between(1, ~Seq{0});
+}
+
+util::Samples Metrics::latencies_between(Seq lo, Seq hi) const {
+  util::Samples out;
+  for (const auto& [seq, per_host] : first_delivery_) {
+    if (seq < lo || seq > hi) continue;
+    auto bit = broadcast_at_.find(seq);
+    if (bit == broadcast_at_.end()) continue;
+    for (const auto& [host, at] : per_host) {
+      out.add(sim::to_seconds(at - bit->second));
+    }
+  }
+  return out;
+}
+
+std::size_t Metrics::delivered_count(Seq seq) const {
+  auto it = first_delivery_.find(seq);
+  return it != first_delivery_.end() ? it->second.size() : 0;
+}
+
+sim::Duration Metrics::link_busy_time(LinkId link) const {
+  auto it = link_busy_.find(link);
+  return it != link_busy_.end() ? it->second : 0;
+}
+
+double Metrics::link_utilization(LinkId link) const {
+  const sim::Duration window = simulator_.now() - window_start_;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(link_busy_time(link)) /
+         static_cast<double>(window);
+}
+
+LinkId Metrics::busiest_trunk() const {
+  LinkId best = kNoLink;
+  sim::Duration best_busy = 0;
+  for (const auto& [link, busy] : link_busy_) {
+    if (network_.topology().link(link).is_access) continue;
+    if (busy > best_busy) {
+      best_busy = busy;
+      best = link;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<double, double>> Metrics::completion_curve(
+    double bucket_seconds, std::size_t host_count) const {
+  RBCAST_CHECK_ARG(bucket_seconds > 0, "bucket must be positive");
+  std::vector<double> times;
+  for (const auto& [seq, per_host] : first_delivery_) {
+    if (!broadcast_at_.contains(seq)) continue;
+    for (const auto& [host, at] : per_host) {
+      times.push_back(sim::to_seconds(at));
+    }
+  }
+  const double expected =
+      static_cast<double>(broadcast_at_.size()) *
+      static_cast<double>(host_count);
+  std::vector<std::pair<double, double>> curve;
+  if (times.empty() || expected == 0) return curve;
+  std::sort(times.begin(), times.end());
+  const double horizon = times.back();
+  std::size_t done = 0;
+  for (double t = 0.0; t <= horizon + bucket_seconds; t += bucket_seconds) {
+    while (done < times.size() && times[done] <= t) ++done;
+    curve.emplace_back(t, static_cast<double>(done) / expected);
+  }
+  return curve;
+}
+
+const util::Accumulator& Metrics::queue_backlog(ServerId server) const {
+  auto it = backlog_.find(server);
+  return it != backlog_.end() ? it->second : kEmptyAccumulator;
+}
+
+double Metrics::max_queue_backlog_seconds(ServerId server) const {
+  return queue_backlog(server).max();
+}
+
+void Metrics::write_counters_csv(std::ostream& os) const {
+  os << "name,value\n";
+  for (const auto& [name, value] : counters_.all()) {
+    os << name << ',' << value << '\n';
+  }
+}
+
+void Metrics::write_latencies_csv(std::ostream& os) const {
+  os << "seq,host,latency_seconds\n";
+  for (const auto& [seq, per_host] : first_delivery_) {
+    auto bit = broadcast_at_.find(seq);
+    if (bit == broadcast_at_.end()) continue;
+    for (const auto& [host, at] : per_host) {
+      os << seq << ',' << host.value << ','
+         << sim::to_seconds(at - bit->second) << '\n';
+    }
+  }
+}
+
+void Metrics::reset() {
+  counters_.clear();
+  backlog_.clear();
+  link_busy_.clear();
+  window_start_ = simulator_.now();
+  broadcast_at_.clear();
+  first_delivery_.clear();
+}
+
+}  // namespace rbcast::trace

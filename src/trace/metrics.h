@@ -1,0 +1,135 @@
+// Metrics collection: everything the evaluation section measures.
+//
+// Two sources feed one registry:
+//  * the network (via NetObserver) — transmission counts and bytes, split
+//    by message kind, link class and intra/inter-cluster crossing; drops;
+//    per-server queue backlogs (the congestion experiment);
+//  * the application callbacks (wired by the harness) — broadcast times
+//    and first-delivery times per (host, seq), giving delivery latency and
+//    completeness.
+//
+// The paper's Section 5 cost metric — "the number of inter-cluster
+// host-to-host transmissions" — is the `send.intercluster.*` counter
+// family: a host-to-host send whose endpoints sit in different
+// ground-truth clusters at the moment of sending.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/seq_set.h"
+#include "util/stats.h"
+
+namespace rbcast::trace {
+
+using util::Seq;
+
+class Metrics : public net::NetObserver {
+ public:
+  Metrics(sim::Simulator& simulator, net::Network& network);
+
+  // Registers itself as the network observer.
+  void attach();
+
+  // --- NetObserver -------------------------------------------------------
+  void on_host_send(const net::Delivery& d) override;
+  void on_deliver(const net::Delivery& d) override;
+  void on_drop(const net::Delivery& d, net::DropReason reason) override;
+  void on_link_transmit(LinkId link, const net::Delivery& d) override;
+  void on_queue_backlog(ServerId server, LinkId link,
+                        sim::Duration backlog) override;
+
+  // --- application-level hooks -----------------------------------------
+
+  void record_broadcast(Seq seq);
+  void record_delivery(HostId host, Seq seq);
+
+  // --- queries ------------------------------------------------------------
+
+  [[nodiscard]] const util::CounterMap& counters() const { return counters_; }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    return counters_.get(name);
+  }
+
+  // Sum over a counter family: every counter whose name starts with
+  // `prefix`.
+  [[nodiscard]] std::uint64_t counter_prefix_sum(
+      const std::string& prefix) const;
+
+  // Data-family transmissions crossing cluster boundaries (the paper's
+  // cost metric). Includes first sends, forwards, gap fills and baseline
+  // retransmissions; excludes control traffic.
+  [[nodiscard]] std::uint64_t intercluster_data_sends() const;
+  // Control-family equivalents (info/attach/detach/ack).
+  [[nodiscard]] std::uint64_t intercluster_control_sends() const;
+
+  // First-delivery latency (seconds) of message `seq` at `host`; negative
+  // when not delivered.
+  [[nodiscard]] double delivery_latency(HostId host, Seq seq) const;
+
+  // Latencies of all recorded first deliveries, in seconds.
+  [[nodiscard]] util::Samples all_latencies() const;
+  // Latencies restricted to sequence numbers in [lo, hi].
+  [[nodiscard]] util::Samples latencies_between(Seq lo, Seq hi) const;
+
+  // How many hosts have received `seq` so far (including the source).
+  [[nodiscard]] std::size_t delivered_count(Seq seq) const;
+
+  // Queue congestion (serialization backlog, seconds) at one server.
+  [[nodiscard]] const util::Accumulator& queue_backlog(ServerId server) const;
+  [[nodiscard]] double max_queue_backlog_seconds(ServerId server) const;
+
+  // Total wire time consumed on a link (both directions) since the last
+  // reset — the numerator of its utilization.
+  [[nodiscard]] sim::Duration link_busy_time(LinkId link) const;
+  // Busy fraction of a link since the last reset (0 when no time passed).
+  [[nodiscard]] double link_utilization(LinkId link) const;
+  // The busiest trunk by utilization (kNoLink when nothing was sent).
+  [[nodiscard]] LinkId busiest_trunk() const;
+
+  // Completion curve: for each bucket boundary t (multiples of
+  // `bucket_seconds` since time 0 up to the last recorded delivery),
+  // the fraction of all expected (host, seq) deliveries — `host_count`
+  // per broadcast message — that had happened by t. The time series the
+  // partition experiment plots.
+  [[nodiscard]] std::vector<std::pair<double, double>> completion_curve(
+      double bucket_seconds, std::size_t host_count) const;
+
+  // --- CSV export (scripting / plotting) -----------------------------------
+
+  // name,value for every counter.
+  void write_counters_csv(std::ostream& os) const;
+  // seq,host,latency_seconds for every recorded first delivery.
+  void write_latencies_csv(std::ostream& os) const;
+
+  // Clears everything (measurement-window scoping in benches).
+  void reset();
+
+ private:
+  [[nodiscard]] bool crosses_clusters(HostId a, HostId b);
+  [[nodiscard]] static bool is_data_kind(const std::string& kind);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+
+  util::CounterMap counters_;
+  std::unordered_map<ServerId, util::Accumulator> backlog_;
+  std::unordered_map<LinkId, sim::Duration> link_busy_;
+  sim::TimePoint window_start_{0};
+
+  std::map<Seq, sim::TimePoint> broadcast_at_;
+  std::map<Seq, std::map<HostId, sim::TimePoint>> first_delivery_;
+
+  // Cached ground-truth cluster index, refreshed when links change.
+  std::vector<int> cluster_index_;
+  std::uint64_t cluster_epoch_{~0ULL};
+};
+
+}  // namespace rbcast::trace

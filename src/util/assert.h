@@ -1,0 +1,45 @@
+// Internal invariant checking.
+//
+// RBCAST_ASSERT is used for conditions that must hold if the library itself
+// is correct; violations indicate a bug, not a user error, so we abort with
+// a diagnostic rather than throw. User-facing argument validation uses
+// exceptions (see RBCAST_CHECK_ARG).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rbcast::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rbcast: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rbcast::util
+
+#define RBCAST_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::rbcast::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                    \
+  } while (false)
+
+#define RBCAST_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::rbcast::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                    \
+  } while (false)
+
+// Validates a user-supplied argument; throws std::invalid_argument.
+#define RBCAST_CHECK_ARG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      throw std::invalid_argument(std::string("rbcast: ") + (msg));      \
+    }                                                                    \
+  } while (false)

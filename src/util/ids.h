@@ -1,0 +1,70 @@
+// Strong identifier types for the entities in the system.
+//
+// Hosts, servers and links live in different index spaces; using a distinct
+// type for each prevents the classic "passed a host index where a server
+// index was expected" bug at compile time (C++ Core Guidelines I.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rbcast {
+
+namespace detail {
+
+// CRTP-free strong integer id. Tag makes each instantiation a unique type.
+template <typename Tag>
+struct StrongId {
+  using value_type = std::int32_t;
+
+  // Sentinel for "no such entity" (e.g. a NIL parent pointer).
+  static constexpr value_type kInvalidValue = -1;
+
+  value_type value{kInvalidValue};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << Tag::prefix() << "<nil>";
+    return os << Tag::prefix() << id.value;
+  }
+};
+
+}  // namespace detail
+
+struct HostTag {
+  static constexpr const char* prefix() { return "h"; }
+};
+struct ServerTag {
+  static constexpr const char* prefix() { return "s"; }
+};
+struct LinkTag {
+  static constexpr const char* prefix() { return "l"; }
+};
+
+// A host participating in the broadcast application.
+using HostId = detail::StrongId<HostTag>;
+// A communication server (switch); hosts attach to exactly one server.
+using ServerId = detail::StrongId<ServerTag>;
+// A bidirectional point-to-point link between two servers (or host-server).
+using LinkId = detail::StrongId<LinkTag>;
+
+inline constexpr HostId kNoHost{};
+inline constexpr ServerId kNoServer{};
+inline constexpr LinkId kNoLink{};
+
+}  // namespace rbcast
+
+template <typename Tag>
+struct std::hash<rbcast::detail::StrongId<Tag>> {
+  std::size_t operator()(rbcast::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

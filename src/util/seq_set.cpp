@@ -1,0 +1,248 @@
+#include "util/seq_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace rbcast::util {
+
+SeqSet SeqSet::contiguous(Seq n) {
+  SeqSet s;
+  if (n >= 1) s.insert_range(1, n);
+  return s;
+}
+
+SeqSet SeqSet::of(std::initializer_list<Seq> seqs) {
+  SeqSet s;
+  for (Seq q : seqs) s.insert(q);
+  return s;
+}
+
+bool SeqSet::insert(Seq seq) {
+  RBCAST_ASSERT_MSG(seq >= 1, "sequence numbers start at 1");
+  if (seq <= pruned_below_) return false;
+
+  // First interval with hi >= seq - 1 can absorb or abut seq.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), seq,
+      [](const Interval& iv, Seq q) { return iv.hi + 1 < q; });
+
+  if (it != intervals_.end() && it->lo <= seq && seq <= it->hi) {
+    return false;  // already present
+  }
+
+  if (it != intervals_.end() && it->hi + 1 == seq) {
+    // Extend *it upward; may merge with the next interval.
+    it->hi = seq;
+    auto next = it + 1;
+    if (next != intervals_.end() && next->lo == seq + 1) {
+      it->hi = next->hi;
+      intervals_.erase(next);
+    }
+    return true;
+  }
+  if (it != intervals_.end() && seq + 1 == it->lo) {
+    it->lo = seq;  // extend downward; cannot merge with previous (checked above)
+    return true;
+  }
+  intervals_.insert(it, Interval{seq, seq});
+  return true;
+}
+
+void SeqSet::insert_range(Seq lo, Seq hi) {
+  RBCAST_ASSERT_MSG(lo >= 1 && lo <= hi, "insert_range requires 1 <= lo <= hi");
+  // Simple and robust: element-wise insertion is fine for the range sizes
+  // the protocol produces (bursts of a few messages); the contiguous()
+  // constructor below fast-paths the common whole-prefix case.
+  if (intervals_.empty() && lo <= pruned_below_ + 1) {
+    if (hi > pruned_below_) {
+      intervals_.push_back(Interval{std::max<Seq>(lo, pruned_below_ + 1), hi});
+    }
+    return;
+  }
+  for (Seq q = lo; q <= hi; ++q) insert(q);
+}
+
+void SeqSet::merge(const SeqSet& other) {
+  if (other.pruned_below_ > pruned_below_) prune_below(other.pruned_below_);
+  for (const Interval& iv : other.intervals_) {
+    Seq lo = std::max<Seq>(iv.lo, pruned_below_ + 1);
+    if (lo > iv.hi) continue;
+    insert_range(lo, iv.hi);
+  }
+}
+
+bool SeqSet::contains(Seq seq) const {
+  if (seq == 0) return false;
+  if (seq <= pruned_below_) return true;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), seq,
+      [](const Interval& iv, Seq q) { return iv.hi < q; });
+  return it != intervals_.end() && it->lo <= seq;
+}
+
+bool SeqSet::empty() const {
+  return pruned_below_ == 0 && intervals_.empty();
+}
+
+Seq SeqSet::max_seq() const {
+  if (!intervals_.empty()) return intervals_.back().hi;
+  return pruned_below_;
+}
+
+std::uint64_t SeqSet::count() const {
+  std::uint64_t n = pruned_below_;
+  for (const Interval& iv : intervals_) n += iv.hi - iv.lo + 1;
+  return n;
+}
+
+Seq SeqSet::contiguous_prefix() const {
+  if (intervals_.empty()) return pruned_below_;
+  const Interval& first = intervals_.front();
+  if (first.lo == pruned_below_ + 1) return first.hi;
+  return pruned_below_;
+}
+
+std::vector<Seq> SeqSet::gaps(std::size_t limit) const {
+  std::vector<Seq> out;
+  Seq cursor = pruned_below_ + 1;
+  for (const Interval& iv : intervals_) {
+    for (Seq q = cursor; q < iv.lo && out.size() < limit; ++q) out.push_back(q);
+    if (out.size() >= limit) return out;
+    cursor = iv.hi + 1;
+  }
+  return out;
+}
+
+std::vector<Seq> SeqSet::missing_from(const SeqSet& other,
+                                      std::size_t limit) const {
+  return missing_from_capped(other, max_seq(), limit);
+}
+
+std::vector<Seq> SeqSet::missing_from_capped(const SeqSet& other, Seq cap,
+                                             std::size_t limit) const {
+  std::vector<Seq> out;
+  // Everything <= other's prune watermark is contained there by convention.
+  Seq floor = other.pruned_below_;
+  for (const Interval& iv : intervals_) {
+    if (iv.lo > cap) break;
+    Seq hi = std::min<Seq>(iv.hi, cap);
+    for (Seq q = std::max<Seq>(iv.lo, floor + 1); q <= hi; ++q) {
+      if (!other.contains(q)) {
+        out.push_back(q);
+        if (out.size() >= limit) return out;
+      }
+    }
+  }
+  // Note: elements of *this* below our own watermark are all <= floor
+  // candidates only when other.pruned_below_ < pruned_below_; those are by
+  // definition safe at all hosts, so never worth offering.
+  return out;
+}
+
+void SeqSet::prune_below(Seq watermark) {
+  if (watermark <= pruned_below_) return;
+  pruned_below_ = watermark;
+  auto it = intervals_.begin();
+  while (it != intervals_.end()) {
+    if (it->hi <= watermark) {
+      it = intervals_.erase(it);
+    } else {
+      if (it->lo <= watermark) it->lo = watermark + 1;
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SeqSet::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+  // Header packs the watermark (56 bits are plenty for sequence numbers)
+  // with the interval count in the top byte's... keep it simple and
+  // explicit instead: watermark, then one [lo, hi] pair per interval.
+  // The interval count is implied by the buffer length.
+  put_u64(out, pruned_below_);
+  for (const Interval& iv : intervals_) {
+    put_u64(out, iv.lo);
+    put_u64(out, iv.hi);
+  }
+  RBCAST_ASSERT(out.size() == wire_size());
+  return out;
+}
+
+std::optional<SeqSet> SeqSet::decode(const std::uint8_t* data,
+                                     std::size_t size) {
+  if (data == nullptr && size > 0) return std::nullopt;
+  if (size < 8 || (size - 8) % 16 != 0) return std::nullopt;
+
+  SeqSet out;
+  out.pruned_below_ = get_u64(data);
+  const std::size_t count = (size - 8) / 16;
+  Seq prev_hi = out.pruned_below_;
+  bool first = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Seq lo = get_u64(data + 8 + 16 * i);
+    const Seq hi = get_u64(data + 8 + 16 * i + 8);
+    // Enforce the class invariants on untrusted input: ordered, maximal,
+    // non-overlapping intervals strictly above the watermark.
+    if (lo < 1 || lo > hi) return std::nullopt;
+    if (lo <= out.pruned_below_) return std::nullopt;
+    if (!first && lo <= prev_hi + 1) return std::nullopt;
+    first = false;
+    prev_hi = hi;
+    out.intervals_.push_back(Interval{lo, hi});
+  }
+  return out;
+}
+
+std::string SeqSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  if (pruned_below_ > 0) {
+    os << "1.." << pruned_below_ << "(pruned)";
+    first = false;
+  }
+  for (const Interval& iv : intervals_) {
+    if (!first) os << ',';
+    first = false;
+    if (iv.lo == iv.hi) {
+      os << iv.lo;
+    } else {
+      os << iv.lo << ".." << iv.hi;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+void SeqSet::check_invariants() const {
+  Seq prev_hi = pruned_below_;
+  bool first = true;
+  for (const Interval& iv : intervals_) {
+    RBCAST_ASSERT(iv.lo >= 1 && iv.lo <= iv.hi);
+    RBCAST_ASSERT(iv.lo > pruned_below_);
+    if (!first) RBCAST_ASSERT_MSG(iv.lo > prev_hi + 1, "intervals must be maximal");
+    first = false;
+    prev_hi = iv.hi;
+  }
+}
+
+}  // namespace rbcast::util

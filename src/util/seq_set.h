@@ -1,0 +1,157 @@
+// SeqSet: an interval-compressed set of message sequence numbers.
+//
+// This is the concrete representation of the paper's INFO sets: "for each
+// host i, a set INFO_i contains the sequence numbers of all messages
+// received by i" (Section 4.2). Because broadcast streams are mostly
+// contiguous with occasional gaps, we store maximal closed intervals
+// [lo, hi]; a fully caught-up host uses one interval regardless of stream
+// length, and the serialized footprint (what INFO-exchange control messages
+// carry) is proportional to the number of gaps, not the number of messages.
+//
+// The paper's partial order on INFO sets (Section 4.2) is exposed as
+// SeqSet::less_than / SeqSet::max_equal:
+//     A <  B  iff  max(A) < max(B)
+//     A ~= B  iff  max(A) = max(B)
+// with the convention that an empty set has maximum 0 (sequence numbers
+// start at 1), which matches the paper's initial condition where a host
+// that has seen nothing is dominated by every host that has seen anything.
+//
+// Pruning (Section 6: "INFO sets can be pruned of messages 1..n when it
+// becomes known that all hosts have safely received them") is supported via
+// prune_below(); pruned elements still count as contained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rbcast::util {
+
+// Broadcast data messages are numbered 1, 2, 3, ... by the source.
+using Seq = std::uint64_t;
+
+class SeqSet {
+ public:
+  // A maximal run [lo, hi] (inclusive) of contained sequence numbers.
+  struct Interval {
+    Seq lo{0};
+    Seq hi{0};
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  SeqSet() = default;
+
+  // Constructs {1..n} — the INFO set of a host that has messages 1..n.
+  static SeqSet contiguous(Seq n);
+
+  // Constructs from an arbitrary list of elements (test convenience).
+  static SeqSet of(std::initializer_list<Seq> seqs);
+
+  // Inserts one sequence number. Returns true if it was newly added.
+  // Precondition: seq >= 1.
+  bool insert(Seq seq);
+
+  // Inserts every element of [lo, hi]. Precondition: 1 <= lo <= hi.
+  void insert_range(Seq lo, Seq hi);
+
+  // Union with another set.
+  void merge(const SeqSet& other);
+
+  [[nodiscard]] bool contains(Seq seq) const;
+
+  // True iff no element was ever inserted (pruning does not make a
+  // non-empty set empty: pruned elements remain contained).
+  [[nodiscard]] bool empty() const;
+
+  // Largest contained sequence number; 0 when empty. This is the max(.)
+  // that the paper's < and ~= orders compare.
+  [[nodiscard]] Seq max_seq() const;
+
+  // Number of contained sequence numbers (including pruned ones).
+  [[nodiscard]] std::uint64_t count() const;
+
+  // Largest n such that every element of {1..n} is contained; 0 when the
+  // set does not contain 1. Drives pruning: 1..n is the "safe prefix".
+  [[nodiscard]] Seq contiguous_prefix() const;
+
+  // --- The paper's partial order on INFO sets ---------------------------
+
+  // this < other  iff  max(this) < max(other).
+  [[nodiscard]] bool less_than(const SeqSet& other) const {
+    return max_seq() < other.max_seq();
+  }
+  // this ~= other  iff  max(this) == max(other).
+  [[nodiscard]] bool max_equal(const SeqSet& other) const {
+    return max_seq() == other.max_seq();
+  }
+
+  // --- Gap queries (drive the gap-filling machinery, Section 4.4) ------
+
+  // Sequence numbers missing from this set in [1, max_seq()] — the "gaps"
+  // a host knows it has. At most `limit` results.
+  [[nodiscard]] std::vector<Seq> gaps(std::size_t limit = SIZE_MAX) const;
+
+  // Elements contained in *this but not in `other`, at most `limit` of
+  // them, in increasing order. Used by a gap filler to decide which of its
+  // messages a peer is missing.
+  [[nodiscard]] std::vector<Seq> missing_from(const SeqSet& other,
+                                              std::size_t limit = SIZE_MAX) const;
+
+  // Like missing_from but only considers elements <= cap. Non-neighbor gap
+  // filling must not push sequence numbers above the recipient's own max
+  // (a host accepts *new* maxima only from its parent), so callers cap at
+  // the recipient's max_seq().
+  [[nodiscard]] std::vector<Seq> missing_from_capped(
+      const SeqSet& other, Seq cap, std::size_t limit = SIZE_MAX) const;
+
+  // --- Pruning ----------------------------------------------------------
+
+  // Declares every sequence number <= watermark as permanently contained
+  // (safe at all hosts). Intervals at or below the watermark are released.
+  void prune_below(Seq watermark);
+
+  [[nodiscard]] Seq prune_watermark() const { return pruned_below_; }
+
+  // --- Introspection ----------------------------------------------------
+
+  // Maximal intervals above the prune watermark, in increasing order.
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+  // Approximate serialized size in bytes, for network accounting: the
+  // watermark plus 16 bytes per interval.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 8 + 16 * intervals_.size();
+  }
+
+  // --- wire codec ---------------------------------------------------------
+  //
+  // Real serialization (not just size accounting): watermark, interval
+  // count, then [lo, hi] pairs, all little-endian fixed-width. encode()'s
+  // output length equals wire_size(). decode() validates invariants and
+  // returns nullopt on malformed input — never trust the network.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<SeqSet> decode(
+      const std::uint8_t* data, std::size_t size);
+  [[nodiscard]] static std::optional<SeqSet> decode(
+      const std::vector<std::uint8_t>& bytes) {
+    return decode(bytes.data(), bytes.size());
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SeqSet& a, const SeqSet& b) = default;
+
+ private:
+  // Invariants: intervals_ sorted by lo; non-overlapping; non-adjacent
+  // (gap of at least one between consecutive intervals); every lo >= 1;
+  // every interval lies strictly above pruned_below_.
+  std::vector<Interval> intervals_;
+  Seq pruned_below_{0};
+
+  void check_invariants() const;
+};
+
+}  // namespace rbcast::util

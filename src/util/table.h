@@ -1,0 +1,38 @@
+// Aligned text tables and CSV output for the benchmark harness.
+//
+// Every bench binary regenerates one experiment from the paper and prints
+// its result both as a human-readable table (stdout) and, optionally, CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rbcast::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  // Fixed-point with `decimals` digits.
+  Table& cell(double v, int decimals = 2);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rbcast::util

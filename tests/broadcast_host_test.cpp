@@ -1,0 +1,557 @@
+// Behavioural tests of the BroadcastHost automaton over a scriptable fake
+// network (no real substrate: full control over cost bits and drops).
+#include "core/broadcast_host.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/fake_network.h"
+
+namespace rbcast::core {
+namespace {
+
+using rbcast::testing::FakeHub;
+
+core::Config fast_config() {
+  Config c;
+  c.attach_period = sim::milliseconds(100);
+  c.info_period_intra = sim::milliseconds(50);
+  c.info_period_inter = sim::milliseconds(200);
+  c.gapfill_period_neighbor = sim::milliseconds(100);
+  c.gapfill_period_far = sim::milliseconds(300);
+  c.parent_timeout = sim::seconds(1);
+  c.attach_ack_timeout = sim::milliseconds(100);
+  c.child_timeout = sim::seconds(3);
+  c.data_bytes = 16;
+  return c;
+}
+
+struct Cluster {
+  sim::Simulator sim;
+  FakeHub hub{sim};
+  std::vector<std::unique_ptr<BroadcastHost>> nodes;
+  std::vector<std::vector<Seq>> delivered;
+
+  explicit Cluster(int n, Config config = fast_config(),
+                   HostId source = HostId{0}) {
+    std::vector<HostId> all;
+    for (int i = 0; i < n; ++i) all.push_back(HostId{i});
+    delivered.resize(static_cast<std::size_t>(n));
+    util::RngFactory rngs(7);
+    for (int i = 0; i < n; ++i) {
+      const HostId id{i};
+      nodes.push_back(std::make_unique<BroadcastHost>(
+          sim, hub.endpoint(id), source, all, config,
+          rngs.stream("jitter", i),
+          [this, i](Seq seq, const std::string&) {
+            delivered[static_cast<std::size_t>(i)].push_back(seq);
+          }));
+      hub.register_host(id, [this, i](const net::Delivery& d) {
+        nodes[static_cast<std::size_t>(i)]->on_delivery(d);
+      });
+    }
+  }
+
+  BroadcastHost& node(int i) { return *nodes[static_cast<std::size_t>(i)]; }
+  void start_all() {
+    for (auto& n : nodes) n->start();
+  }
+  void run_for(sim::Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TEST(BroadcastHost, SourceDeliversLocallyOnBroadcast) {
+  Cluster c(2);
+  c.node(0).broadcast("m1");
+  EXPECT_EQ(c.delivered[0], (std::vector<Seq>{1}));
+  EXPECT_EQ(c.node(0).info().max_seq(), 1u);
+  EXPECT_EQ(c.node(0).last_broadcast_seq(), 1u);
+}
+
+TEST(BroadcastHost, StreamReachesAttachedHostsAndConvergesToTree) {
+  Cluster c(3);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(3));
+  for (int k = 2; k <= 5; ++k) {
+    c.node(0).broadcast("m" + std::to_string(k));
+    c.run_for(sim::seconds(1));
+  }
+  c.run_for(sim::seconds(3));
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.node(i).info().count(), 5u) << "host " << i;
+  }
+  // All deliveries are exactly-once.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Seq> seen = c.delivered[static_cast<std::size_t>(i)];
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<Seq>{1, 2, 3, 4, 5}));
+  }
+  // The graph is a tree rooted at the source.
+  EXPECT_FALSE(c.node(0).parent().valid());
+  int with_parent = 0;
+  for (int i = 1; i < 3; ++i) {
+    if (c.node(i).parent().valid()) ++with_parent;
+  }
+  EXPECT_EQ(with_parent, 2);
+}
+
+TEST(BroadcastHost, NewMaxFromNonParentIsDiscarded) {
+  Cluster c(3);
+  // Hand-feed host 2 a data message from host 1 (not its parent).
+  ProtocolMessage m{DataMsg{1, "stray", false, {}}};
+  net::Delivery d{.from = HostId{1},
+                  .to = HostId{2},
+                  .expensive = false,
+                  .payload = std::any(m),
+                  .bytes = 64,
+                  .kind = "data",
+                  .sent_at = 0,
+                  .hops = 1};
+  c.node(2).on_delivery(d);
+  EXPECT_TRUE(c.node(2).info().empty());
+  EXPECT_EQ(c.node(2).counters().new_max_rejected, 1u);
+  // But the sender is now known to have it (MAP update).
+  EXPECT_TRUE(c.node(2).state().map(HostId{1}).contains(1));
+}
+
+TEST(BroadcastHost, DuplicateDataIsDiscarded) {
+  Cluster c(2);
+  c.node(0).broadcast("m1");
+  ProtocolMessage m{DataMsg{1, "m1", true, {}}};
+  net::Delivery d{.from = HostId{1},
+                  .to = HostId{0},
+                  .expensive = false,
+                  .payload = std::any(m),
+                  .bytes = 64,
+                  .kind = "gapfill",
+                  .sent_at = 0,
+                  .hops = 1};
+  c.node(0).on_delivery(d);
+  EXPECT_EQ(c.node(0).counters().duplicates_discarded, 1u);
+  EXPECT_EQ(c.delivered[0].size(), 1u);
+}
+
+TEST(BroadcastHost, GapFillAcceptedFromNonParent) {
+  Cluster c(3);
+  // Host 2's max is 3 (fed from its parent -- simulate by making host 1 its
+  // parent first through a real handshake).
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  c.node(0).broadcast("m2");
+  c.node(0).broadcast("m3");
+  c.run_for(sim::seconds(2));
+  ASSERT_EQ(c.node(2).info().max_seq(), 3u);
+
+  // Now remove message 2 knowledge... instead feed a *below-max* message
+  // from a non-parent: host 2 already has everything, so craft seq 2 as if
+  // it were missing -- use a fresh host 1 delivery of an old message. To
+  // keep the state consistent we test acceptance on host 1 instead if it
+  // lacks nothing. Simplest: build a fresh node with a hole.
+  Cluster c2(3);
+  // Give host 2 max=3 via its parent (host 0 is the source and will be the
+  // parent after attachment); here we inject state directly: parent must be
+  // set for new-max acceptance, so simulate the hole by sending 1 and 3
+  // from the parent after a real attach.
+  c2.start_all();
+  c2.node(0).broadcast("a1");
+  c2.run_for(sim::seconds(2));  // everyone attaches and gets a1
+  // Sever hub delivery from 0 to 2 while message 2 flows.
+  c2.hub.set_drop(HostId{0}, HostId{2}, true);
+  c2.node(0).broadcast("a2");
+  c2.run_for(sim::milliseconds(20));  // in flight; drop eats host 2's copy
+  c2.hub.set_drop(HostId{0}, HostId{2}, false);
+  c2.node(0).broadcast("a3");
+  c2.run_for(sim::seconds(5));  // gap filling must repair the hole
+  EXPECT_TRUE(c2.node(2).info().contains(2));
+  EXPECT_EQ(c2.node(2).info().count(), 3u);
+}
+
+TEST(BroadcastHost, AttachHandshakeSetsBothEnds) {
+  Cluster c(2);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  EXPECT_EQ(c.node(1).parent(), HostId{0});
+  EXPECT_TRUE(c.node(0).state().is_child(HostId{1}));
+  EXPECT_GE(c.node(1).counters().attaches_completed, 1u);
+}
+
+TEST(BroadcastHost, AttachBackfillFillsNewChild) {
+  Cluster c(2);
+  c.start_all();
+  // Source generates before anyone attaches.
+  c.node(0).broadcast("m1");
+  c.node(0).broadcast("m2");
+  c.node(0).broadcast("m3");
+  c.run_for(sim::seconds(3));
+  // After attaching, host 1 must have received the whole backlog.
+  EXPECT_EQ(c.node(1).info().count(), 3u);
+}
+
+TEST(BroadcastHost, AttachTimeoutMovesToNextCandidate) {
+  Cluster c(3);
+  // Host 2 knows hosts 0 and 1 are ahead; host 1 is silent (drops).
+  c.hub.set_drop(HostId{2}, HostId{1}, true);
+  c.node(2).on_delivery(net::Delivery{
+      .from = HostId{1},
+      .to = HostId{2},
+      .expensive = false,
+      .payload = std::any(ProtocolMessage{InfoMsg{SeqSet::contiguous(5), kNoHost}}),
+      .bytes = 32,
+      .kind = "info",
+      .sent_at = 0,
+      .hops = 1});
+  c.node(2).on_delivery(net::Delivery{
+      .from = HostId{0},
+      .to = HostId{2},
+      .expensive = false,
+      .payload = std::any(ProtocolMessage{InfoMsg{SeqSet::contiguous(4), kNoHost}}),
+      .bytes = 32,
+      .kind = "info",
+      .sent_at = 0,
+      .hops = 1});
+  // Host 0 must answer attach requests: hand-craft its state so it accepts.
+  c.hub.register_host(HostId{0}, [&](const net::Delivery& d) {
+    c.node(0).on_delivery(d);
+  });
+
+  c.node(2).run_attachment_now();  // candidate: host 1 (max 5) -> times out
+  c.run_for(sim::milliseconds(500));
+  EXPECT_GE(c.node(2).counters().attach_timeouts, 1u);
+  EXPECT_EQ(c.node(2).parent(), HostId{0});  // fell back to next candidate
+}
+
+TEST(BroadcastHost, DetachNoticeRemovesChild) {
+  Cluster c(2);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  ASSERT_TRUE(c.node(0).state().is_child(HostId{1}));
+  c.node(0).on_delivery(net::Delivery{
+      .from = HostId{1},
+      .to = HostId{0},
+      .expensive = false,
+      .payload = std::any(ProtocolMessage{DetachNotice{}}),
+      .bytes = 24,
+      .kind = "detach",
+      .sent_at = 0,
+      .hops = 1});
+  EXPECT_FALSE(c.node(0).state().is_child(HostId{1}));
+}
+
+TEST(BroadcastHost, InfoExchangeReconcilesChildren) {
+  Cluster c(3);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  ASSERT_TRUE(c.node(0).state().is_child(HostId{1}));
+
+  // Host 1's info claiming a different parent must evict it from host 0's
+  // CHILDREN set (heals lost DetachNotice).
+  c.node(0).on_delivery(net::Delivery{
+      .from = HostId{1},
+      .to = HostId{0},
+      .expensive = false,
+      .payload =
+          std::any(ProtocolMessage{InfoMsg{SeqSet::contiguous(1), HostId{2}}}),
+      .bytes = 32,
+      .kind = "info",
+      .sent_at = 0,
+      .hops = 1});
+  EXPECT_FALSE(c.node(0).state().is_child(HostId{1}));
+
+  // And a claim of "you are my parent" re-adds (heals lost AttachAccept).
+  c.node(0).on_delivery(net::Delivery{
+      .from = HostId{1},
+      .to = HostId{0},
+      .expensive = false,
+      .payload =
+          std::any(ProtocolMessage{InfoMsg{SeqSet::contiguous(1), HostId{0}}}),
+      .bytes = 32,
+      .kind = "info",
+      .sent_at = 0,
+      .hops = 1});
+  EXPECT_TRUE(c.node(0).state().is_child(HostId{1}));
+}
+
+TEST(BroadcastHost, ParentTimeoutDetachesAndReattaches) {
+  Cluster c(3);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  ASSERT_EQ(c.node(2).parent(), HostId{0});
+
+  // Silence everything from host 0 (its crash); host 2 must time the
+  // parent out, then find host 1 (equal info, higher order than none...
+  // host 1 is in the same cluster and has the stream).
+  c.hub.set_drop(HostId{0}, HostId{1}, true);
+  c.hub.set_drop(HostId{0}, HostId{2}, true);
+  c.run_for(sim::seconds(3));
+  EXPECT_GE(c.node(2).counters().parent_timeouts +
+                c.node(1).counters().parent_timeouts,
+            1u);
+  EXPECT_NE(c.node(2).parent(), HostId{0});
+}
+
+TEST(BroadcastHost, CostBitMaintainsClusterView) {
+  Cluster c(2);
+  c.hub.set_expensive(HostId{0}, HostId{1}, true);
+  c.start_all();
+  c.run_for(sim::seconds(1));
+  // All traffic between 0 and 1 is expensive: they see separate clusters.
+  EXPECT_FALSE(c.node(1).state().in_cluster(HostId{0}));
+
+  c.hub.set_expensive(HostId{0}, HostId{1}, false);
+  c.run_for(sim::seconds(1));
+  EXPECT_TRUE(c.node(1).state().in_cluster(HostId{0}));
+}
+
+TEST(BroadcastHost, StaticClusterKnowledgeIgnoresCostBit) {
+  Config config = fast_config();
+  config.cluster_knowledge = Config::ClusterKnowledge::kStatic;
+  Cluster c(2, config);
+  c.node(1).seed_cluster({HostId{0}, HostId{1}});
+  c.hub.set_expensive(HostId{0}, HostId{1}, true);
+  c.start_all();
+  c.run_for(sim::seconds(1));
+  EXPECT_TRUE(c.node(1).state().in_cluster(HostId{0}));
+}
+
+TEST(BroadcastHost, PruningReleasesSafePrefix) {
+  Config config = fast_config();
+  config.enable_pruning = true;
+  Cluster c(2, config);
+  c.start_all();
+  for (int k = 1; k <= 5; ++k) {
+    c.node(0).broadcast("m" + std::to_string(k));
+    c.run_for(sim::milliseconds(300));
+  }
+  c.run_for(sim::seconds(3));
+  ASSERT_EQ(c.node(1).info().count(), 5u);
+  // Everyone has everything and INFO exchange has spread that knowledge:
+  // the prefix must be pruned on both ends.
+  EXPECT_EQ(c.node(0).info().prune_watermark(), 5u);
+  EXPECT_EQ(c.node(1).info().prune_watermark(), 5u);
+  EXPECT_EQ(c.node(0).state().body_of(1), nullptr);
+}
+
+TEST(BroadcastHost, PruningDisabledKeepsEverything) {
+  Config config = fast_config();
+  config.enable_pruning = false;
+  Cluster c(2, config);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  EXPECT_EQ(c.node(0).info().prune_watermark(), 0u);
+  EXPECT_NE(c.node(0).state().body_of(1), nullptr);
+}
+
+TEST(BroadcastHost, PiggybackCarriesSenderInfoOnData) {
+  Config config = fast_config();
+  config.piggyback_info = true;
+  Cluster c(3, config);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+
+  // Every data message in the log must carry the piggyback.
+  int data_seen = 0;
+  for (const auto& sent : c.hub.log) {
+    const auto* pm = std::any_cast<ProtocolMessage>(&sent.payload);
+    ASSERT_NE(pm, nullptr);
+    if (const auto* data = std::get_if<DataMsg>(pm)) {
+      ++data_seen;
+      EXPECT_TRUE(data->piggyback.has_value());
+    }
+  }
+  EXPECT_GT(data_seen, 0);
+}
+
+TEST(BroadcastHost, PiggybackDisabledByDefault) {
+  Cluster c(2);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));
+  for (const auto& sent : c.hub.log) {
+    const auto* pm = std::any_cast<ProtocolMessage>(&sent.payload);
+    ASSERT_NE(pm, nullptr);
+    if (const auto* data = std::get_if<DataMsg>(pm)) {
+      EXPECT_FALSE(data->piggyback.has_value());
+    }
+  }
+}
+
+TEST(BroadcastHost, PiggybackRefreshesMapWithoutInfoMessages) {
+  // With separate INFO exchange effectively disabled, the piggyback alone
+  // must keep the child's view of the parent's INFO set fresh.
+  Config config = fast_config();
+  config.piggyback_info = true;
+  Cluster c(2, config);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(2));  // attach with normal exchange
+  ASSERT_EQ(c.node(1).parent(), HostId{0});
+
+  // Freeze control traffic: stretch INFO periods beyond the test horizon.
+  // (Periods cannot be changed mid-run through the public API, so instead
+  // verify the piggyback path directly: inject a data message carrying a
+  // piggybacked INFO far ahead of anything host 1 has heard via control.)
+  SeqSet advanced = SeqSet::contiguous(50);
+  ProtocolMessage m{DataMsg{2, "m2", false,
+                            std::make_pair(advanced, kNoHost)}};
+  c.node(1).on_delivery(net::Delivery{
+      .from = HostId{0},
+      .to = HostId{1},
+      .expensive = false,
+      .payload = std::any(m),
+      .bytes = 128,
+      .kind = "data",
+      .sent_at = 0,
+      .hops = 1});
+  EXPECT_EQ(c.node(1).state().map(HostId{0}).max_seq(), 50u);
+}
+
+TEST(BroadcastHost, PiggybackIncreasesDataWireSize) {
+  DataMsg plain{1, "body", false, std::nullopt};
+  DataMsg loaded{1, "body", false,
+                 std::make_pair(SeqSet::contiguous(100), HostId{3})};
+  EXPECT_LT(wire_size(ProtocolMessage{plain}),
+            wire_size(ProtocolMessage{loaded}));
+}
+
+TEST(BroadcastHost, SourceNeverRunsAttachment) {
+  Cluster c(3);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(5));
+  EXPECT_EQ(c.node(0).counters().attach_attempts, 0u);
+  EXPECT_FALSE(c.node(0).parent().valid());
+}
+
+// Engineers a genuine single-cluster cycle 1 -> 0 -> 2 -> 1 through the
+// real automaton (crafted INFO/accept deliveries), then verifies the
+// Section 4.3 rule: the member with the highest static order breaks it.
+TEST(BroadcastHost, SingleClusterCycleIsBrokenByHighestOrder) {
+  // Host 3 is the (idle, unreachable) source, so hosts 0..2 all run the
+  // attachment procedure and host 2 has the highest order among them.
+  Cluster c(4, fast_config(), /*source=*/HostId{3});
+  c.hub.isolate(HostId{3}, {HostId{0}, HostId{1}, HostId{2}}, true);
+
+  auto deliver = [&](int to, int from, ProtocolMessage m,
+                     bool expensive = false) {
+    c.node(to).on_delivery(net::Delivery{.from = HostId{from},
+                                         .to = HostId{to},
+                                         .expensive = expensive,
+                                         .payload = std::any(std::move(m)),
+                                         .bytes = 64,
+                                         .kind = "test",
+                                         .sent_at = 0,
+                                         .hops = 1});
+  };
+
+  // Everyone sees everyone in one cluster (cheap info deliveries), with
+  // empty INFO sets and unknown parents.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a != b) deliver(a, b, InfoMsg{SeqSet{}, kNoHost});
+    }
+  }
+
+  // Forge the edges 0 -> 2, 1 -> 0, 2 -> 1: steer each host's candidate
+  // view, run the procedure, and answer its request by hand (the clock
+  // never runs, so only crafted deliveries exist).
+  //
+  // Host 0 -> 2: with equal INFO everywhere, option I.2 picks the
+  // highest-order in-cluster leader, which is host 2.
+  c.node(0).run_attachment_now();
+  ASSERT_FALSE(c.hub.log.empty());
+  ASSERT_EQ(c.hub.log.back().to, HostId{2});
+  deliver(0, 2, AttachAccept{SeqSet{}, kNoHost});
+  ASSERT_EQ(c.node(0).parent(), HostId{2});
+
+  // Host 1 -> 0: evict host 2 from CLUSTER_1 (expensive delivery), and
+  // make host 0 look ahead so option I.1 picks it.
+  deliver(1, 2, InfoMsg{SeqSet{}, kNoHost}, /*expensive=*/true);
+  deliver(1, 0, InfoMsg{SeqSet::of({1}), kNoHost});
+  c.node(1).run_attachment_now();
+  ASSERT_EQ(c.hub.log.back().to, HostId{0});
+  deliver(1, 0, AttachAccept{SeqSet::of({1}), kNoHost});
+  ASSERT_EQ(c.node(1).parent(), HostId{0});
+
+  // Host 2 -> 1: same trick (evict 0, make 1 look ahead).
+  deliver(2, 0, InfoMsg{SeqSet{}, kNoHost}, /*expensive=*/true);
+  deliver(2, 1, InfoMsg{SeqSet::of({1}), kNoHost});
+  c.node(2).run_attachment_now();
+  ASSERT_EQ(c.hub.log.back().to, HostId{1});
+  deliver(2, 1, AttachAccept{SeqSet::of({1}), kNoHost});
+  ASSERT_EQ(c.node(2).parent(), HostId{1});
+
+  // The cycle 0 -> 2 -> 1 -> 0 now exists. Restore host 2's full cluster
+  // view (cheap delivery re-adds host 0) and give it the parent pointers
+  // so its ancestor walk finds the cycle: 1 -> 0 -> 2 = self.
+  deliver(2, 0, InfoMsg{SeqSet::of({1}), HostId{2}});  // p[0] = 2, cheap
+  deliver(2, 1, InfoMsg{SeqSet::of({1}), HostId{0}});  // p[1] = 0
+
+  // Host 2 has the highest order on the cycle: it must break it.
+  ASSERT_EQ(c.node(2).counters().cycles_broken, 0u);
+  c.node(2).run_attachment_now();
+  EXPECT_EQ(c.node(2).counters().cycles_broken, 1u);
+  EXPECT_NE(c.node(2).parent(), HostId{1});
+
+  // Lower-order members never break cycles themselves: host 0's view of
+  // the same cycle (2 -> 1 -> 0 = self) leaves the action to host 2.
+  deliver(0, 1, InfoMsg{SeqSet::of({1}), HostId{0}});
+  deliver(0, 2, InfoMsg{SeqSet{}, HostId{1}});
+  const auto broken_before = c.node(0).counters().cycles_broken;
+  c.node(0).run_attachment_now();
+  EXPECT_EQ(c.node(0).counters().cycles_broken, broken_before);
+}
+
+// A lost AttachAccept must not strand the requester: the candidate is
+// excluded for a few rounds, the periodic parent-pointer exchange
+// reconciles the stale CHILDREN entry, and the retry succeeds once the
+// exclusion expires.
+TEST(BroadcastHost, LostAttachAcceptRecoversAfterExclusionExpiry) {
+  Cluster c(2);
+  // Everything from host 0 to host 1 is dropped: requests reach host 0,
+  // accepts never come back. Host 1 must still learn that host 0 is ahead
+  // (its INFO would normally arrive on the now-dead path), so inject that
+  // one control message by hand.
+  c.hub.set_drop(HostId{0}, HostId{1}, true);
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.node(1).on_delivery(net::Delivery{
+      .from = HostId{0},
+      .to = HostId{1},
+      .expensive = false,
+      .payload = std::any(ProtocolMessage{InfoMsg{SeqSet::of({1}), kNoHost}}),
+      .bytes = 32,
+      .kind = "info",
+      .sent_at = 0,
+      .hops = 1});
+  c.run_for(sim::seconds(2));
+
+  // Host 1 tried and timed out at least once; host 0 holds a stale child.
+  EXPECT_GE(c.node(1).counters().attach_timeouts, 1u);
+  EXPECT_FALSE(c.node(1).parent().valid());
+
+  // Heal the path. Host 1's next INFO (claiming no parent) fixes host 0's
+  // CHILDREN; after the exclusion expires (4 x attach_period = 400 ms)
+  // the retry goes through and the stream arrives.
+  c.hub.set_drop(HostId{0}, HostId{1}, false);
+  c.run_for(sim::seconds(3));
+  EXPECT_EQ(c.node(1).parent(), HostId{0});
+  EXPECT_EQ(c.node(1).info().count(), 1u);
+}
+
+TEST(BroadcastHost, BroadcastOnNonSourceAborts) {
+  Cluster c(2);
+  EXPECT_DEATH(c.node(1).broadcast("nope"), "non-source");
+}
+
+}  // namespace
+}  // namespace rbcast::core

@@ -1,0 +1,142 @@
+#include "trace/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "net/fault_plan.h"
+#include "topo/generators.h"
+
+namespace rbcast::trace {
+namespace {
+
+harness::ScenarioOptions fast_options() {
+  harness::ScenarioOptions options;
+  options.protocol.attach_period = sim::milliseconds(500);
+  options.protocol.info_period_intra = sim::milliseconds(200);
+  options.protocol.info_period_inter = sim::seconds(1);
+  options.protocol.gapfill_period_neighbor = sim::milliseconds(500);
+  options.protocol.gapfill_period_far = sim::seconds(2);
+  options.protocol.parent_timeout = sim::seconds(3);
+  options.protocol.attach_ack_timeout = sim::milliseconds(400);
+  options.protocol.data_bytes = 32;
+  return options;
+}
+
+TEST(EventLog, RecordsDirectCalls) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  simulator.run_until(sim::seconds(2));
+  log.on_attach_requested(HostId{1}, HostId{0}, "I.1");
+  log.on_attached(HostId{1}, HostId{0});
+  log.on_delivered(HostId{1}, 7);
+
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events()[0].type, EventType::kAttachRequested);
+  EXPECT_EQ(log.events()[0].detail, "I.1");
+  EXPECT_EQ(log.events()[0].at, sim::seconds(2));
+  EXPECT_EQ(log.events()[2].seq, 7u);
+  EXPECT_EQ(log.count(EventType::kAttached), 1u);
+  EXPECT_EQ(log.events_of(HostId{1}).size(), 3u);
+  EXPECT_TRUE(log.events_of(HostId{0}).empty());
+}
+
+TEST(EventLog, DescribeIsReadable) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  log.on_attach_requested(HostId{2}, HostId{5}, "II.3");
+  const std::string line = log.events()[0].describe();
+  EXPECT_NE(line.find("h2"), std::string::npos);
+  EXPECT_NE(line.find("attach-requested"), std::string::npos);
+  EXPECT_NE(line.find("h5"), std::string::npos);
+  EXPECT_NE(line.find("II.3"), std::string::npos);
+}
+
+TEST(EventLog, AttachmentLifecycleAppearsInRealScenario) {
+  harness::Experiment e(topo::make_single_cluster(3).topology,
+                        fast_options());
+  e.start();
+  e.broadcast();
+  e.run_for(sim::seconds(10));
+
+  auto& log = e.events();
+  // Both non-source hosts attached; every attach was requested first.
+  EXPECT_GE(log.count(EventType::kAttached), 2u);
+  EXPECT_GE(log.count(EventType::kAttachRequested),
+            log.count(EventType::kAttached));
+  // Every delivery produced an event (1 msg x 3 hosts incl. source).
+  EXPECT_EQ(log.count(EventType::kDelivered), 3u);
+
+  // Requests precede their completions for each host.
+  for (int h = 1; h < 3; ++h) {
+    const auto events = log.events_of(HostId{h});
+    sim::TimePoint requested = -1;
+    for (const auto& event : events) {
+      if (event.type == EventType::kAttachRequested && requested < 0) {
+        requested = event.at;
+      }
+      if (event.type == EventType::kAttached) {
+        EXPECT_GE(event.at, requested);
+        break;
+      }
+    }
+  }
+}
+
+TEST(EventLog, ParentTimeoutRecordedOnCrash) {
+  topo::ClusteredWanOptions wan;
+  wan.clusters = 1;
+  wan.hosts_per_cluster = 3;
+  wan.intra_cluster_ring = true;
+  const auto built = make_clustered_wan(wan);
+  harness::Experiment e(built.topology, fast_options());
+  e.start();
+  e.broadcast();
+  e.run_for(sim::seconds(5));
+
+  // Crash the source for a while: children must record parent timeouts.
+  e.faults().host_crash_window(e.source(), sim::seconds(6),
+                               sim::seconds(20));
+  e.run_for(sim::seconds(15));
+  EXPECT_GE(e.events().count(EventType::kParentTimeout), 1u);
+}
+
+TEST(EventLog, BetweenFiltersByTime) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  log.on_delivered(HostId{0}, 1);
+  simulator.run_until(sim::seconds(10));
+  log.on_delivered(HostId{0}, 2);
+  EXPECT_EQ(log.between(0, sim::seconds(5)).size(), 1u);
+  EXPECT_EQ(log.between(sim::seconds(5), sim::seconds(15)).size(), 1u);
+  EXPECT_EQ(log.between(0, sim::seconds(15)).size(), 2u);
+}
+
+TEST(EventLog, DumpSummarizesDeliveries) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  log.on_delivered(HostId{0}, 1);
+  log.on_delivered(HostId{1}, 1);
+  log.on_attached(HostId{1}, HostId{0});
+  std::ostringstream os;
+  log.dump(os);
+  EXPECT_NE(os.str().find("attached"), std::string::npos);
+  EXPECT_NE(os.str().find("+ 2 delivery events"), std::string::npos);
+  EXPECT_EQ(os.str().find("delivered #"), std::string::npos);
+
+  std::ostringstream verbose;
+  log.dump(verbose, /*include_deliveries=*/true);
+  EXPECT_NE(verbose.str().find("delivered"), std::string::npos);
+}
+
+TEST(EventLog, ClearEmpties) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  log.on_delivered(HostId{0}, 1);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+}  // namespace
+}  // namespace rbcast::trace

@@ -1,0 +1,113 @@
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generators.h"
+
+namespace rbcast::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  util::RngFactory rngs{1};
+  topo::Wan wan;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<FaultPlan> faults;
+
+  explicit Fixture(topo::ClusteredWanOptions options = {.clusters = 2,
+                                                        .hosts_per_cluster = 1}) {
+    wan = make_clustered_wan(options);
+    network = std::make_unique<Network>(sim, wan.topology, NetConfig{}, rngs);
+    for (const auto& h : wan.topology.hosts()) {
+      network->register_host(h.id, [](const Delivery&) {});
+    }
+    faults = std::make_unique<FaultPlan>(sim, *network);
+  }
+};
+
+TEST(FaultPlan, OutageWindowTogglesLink) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->outage_window(trunk, sim::seconds(1), sim::seconds(3));
+
+  f.sim.run_until(sim::milliseconds(500));
+  EXPECT_TRUE(f.network->link_up(trunk));
+  f.sim.run_until(sim::seconds(2));
+  EXPECT_FALSE(f.network->link_up(trunk));
+  f.sim.run_until(sim::seconds(4));
+  EXPECT_TRUE(f.network->link_up(trunk));
+}
+
+TEST(FaultPlan, RejectsEmptyWindow) {
+  Fixture f;
+  EXPECT_THROW(
+      f.faults->outage_window(f.wan.trunks[0], sim::seconds(2), sim::seconds(2)),
+      std::invalid_argument);
+}
+
+TEST(FaultPlan, HostCrashWindowUsesAccessLink) {
+  Fixture f;
+  const HostId victim{0};
+  const LinkId access = f.wan.topology.host(victim).access_link;
+  f.faults->host_crash_window(victim, sim::seconds(1), sim::seconds(2));
+
+  f.sim.run_until(sim::milliseconds(1500));
+  EXPECT_FALSE(f.network->link_up(access));
+  f.sim.run_until(sim::seconds(3));
+  EXPECT_TRUE(f.network->link_up(access));
+}
+
+TEST(FaultPlan, PartitionWindowCutsAndHealsConnectivity) {
+  Fixture f({.clusters = 3, .hosts_per_cluster = 1,
+             .shape = topo::TrunkShape::kLine});
+  // Cut everything incident to cluster 0's server.
+  const auto cut = FaultPlan::trunks_incident_to(
+      f.wan.topology, f.wan.cluster_head_server[0]);
+  ASSERT_FALSE(cut.empty());
+  f.faults->partition_window(cut, sim::seconds(1), sim::seconds(5));
+
+  f.sim.run_until(sim::seconds(2));
+  EXPECT_FALSE(f.network->connected(HostId{0}, HostId{1}));
+  EXPECT_TRUE(f.network->connected(HostId{1}, HostId{2}));
+  f.sim.run_until(sim::seconds(6));
+  EXPECT_TRUE(f.network->connected(HostId{0}, HostId{1}));
+}
+
+TEST(FaultPlan, FlappingTogglesAndEndsUp) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->flapping({trunk}, sim::seconds(2), sim::seconds(2),
+                     sim::seconds(60), f.rngs);
+
+  // Sample the link over time; it should be down at least once.
+  bool saw_down = false;
+  for (int t = 1; t <= 60; ++t) {
+    f.sim.run_until(sim::seconds(t));
+    if (!f.network->link_up(trunk)) saw_down = true;
+  }
+  EXPECT_TRUE(saw_down);
+  // After the schedule ends, the link is left up.
+  f.sim.run_until(sim::seconds(61));
+  EXPECT_TRUE(f.network->link_up(trunk));
+}
+
+TEST(FaultPlan, FlappingRejectsNonPositiveMeans) {
+  Fixture f;
+  EXPECT_THROW(f.faults->flapping({f.wan.trunks[0]}, 0, sim::seconds(1),
+                                  sim::seconds(10), f.rngs),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, TrunksIncidentToFindsAllTrunks) {
+  Fixture f({.clusters = 4, .hosts_per_cluster = 1,
+             .shape = topo::TrunkShape::kStar});
+  const auto hub = FaultPlan::trunks_incident_to(
+      f.wan.topology, f.wan.cluster_head_server[0]);
+  EXPECT_EQ(hub.size(), 3u);  // star center touches every trunk
+  const auto leaf = FaultPlan::trunks_incident_to(
+      f.wan.topology, f.wan.cluster_head_server[1]);
+  EXPECT_EQ(leaf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rbcast::net

@@ -1,0 +1,102 @@
+#include "core/gap_filling.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast::core {
+namespace {
+
+std::vector<HostId> hosts(int n) {
+  std::vector<HostId> out;
+  for (int i = 0; i < n; ++i) out.push_back(HostId{i});
+  return out;
+}
+
+HostState with_messages(int self, int n, Seq upto) {
+  HostState s(HostId{self}, hosts(n));
+  for (Seq q = 1; q <= upto; ++q) s.record_message(q, "b" + std::to_string(q));
+  return s;
+}
+
+TEST(GapFilling, AttachBackfillSendsEverythingMissing) {
+  HostState s = with_messages(0, 2, 5);
+  const SeqSet child_info = SeqSet::of({2, 4});
+  EXPECT_EQ(plan_attach_backfill(s, child_info, 100),
+            (std::vector<Seq>{1, 3, 5}));
+}
+
+TEST(GapFilling, AttachBackfillHonorsBurstLimit) {
+  HostState s = with_messages(0, 2, 10);
+  EXPECT_EQ(plan_attach_backfill(s, SeqSet{}, 3).size(), 3u);
+}
+
+TEST(GapFilling, AttachBackfillForCaughtUpChildIsEmpty) {
+  HostState s = with_messages(0, 2, 5);
+  EXPECT_TRUE(plan_attach_backfill(s, SeqSet::contiguous(5), 100).empty());
+}
+
+TEST(GapFilling, ChildPlanMayRaiseChildMax) {
+  HostState s = with_messages(0, 2, 5);
+  s.learn_info(HostId{1}, SeqSet::of({1, 2, 3}));
+  // Child: new maxima 4, 5 may be pushed (we are its parent).
+  EXPECT_EQ(plan_neighbor_gapfill(s, HostId{1}, /*j_is_child=*/true, 100),
+            (std::vector<Seq>{4, 5}));
+}
+
+TEST(GapFilling, ParentPlanIsCappedAtParentMax) {
+  HostState s = with_messages(0, 2, 5);
+  // Our parent somehow lags: it has {1,3} (max 3). We may only offer 2 —
+  // anything above its max would be rejected as a non-parent new-max.
+  s.learn_info(HostId{1}, SeqSet::of({1, 3}));
+  EXPECT_EQ(plan_neighbor_gapfill(s, HostId{1}, /*j_is_child=*/false, 100),
+            (std::vector<Seq>{2}));
+}
+
+TEST(GapFilling, FarPlanIsCappedAndNeedsKnownInfo) {
+  HostState s = with_messages(0, 3, 6);
+  // Never heard from host 1: nothing is offered.
+  EXPECT_TRUE(plan_far_gapfill(s, HostId{1}, 100).empty());
+  // Host 2 has holes below its max.
+  s.learn_info(HostId{2}, SeqSet::of({1, 4}));
+  EXPECT_EQ(plan_far_gapfill(s, HostId{2}, 100), (std::vector<Seq>{2, 3}));
+}
+
+TEST(GapFilling, FarPlanHonorsBurst) {
+  HostState s = with_messages(0, 2, 10);
+  s.learn_info(HostId{1}, SeqSet::of({9}));
+  EXPECT_EQ(plan_far_gapfill(s, HostId{1}, 2), (std::vector<Seq>{1, 2}));
+}
+
+TEST(GapFilling, PrunedBodiesAreNeverOffered) {
+  HostState s = with_messages(0, 2, 6);
+  s.prune(3);  // bodies 1..3 gone
+  s.learn_info(HostId{1}, SeqSet::of({5}));
+  // Missing below 5 are {1,2,3,4}; only 4 still has a body.
+  EXPECT_EQ(plan_far_gapfill(s, HostId{1}, 100), (std::vector<Seq>{4}));
+}
+
+TEST(GapFilling, NothingPlannedWhenPeerIsAhead) {
+  HostState s = with_messages(0, 2, 2);
+  s.learn_info(HostId{1}, SeqSet::contiguous(9));
+  EXPECT_TRUE(plan_neighbor_gapfill(s, HostId{1}, true, 100).empty());
+  EXPECT_TRUE(plan_far_gapfill(s, HostId{1}, 100).empty());
+}
+
+// The Figure 4.1 kernel: i has {1,3}, j has {2,3}. Neither may raise the
+// other's max, yet each can fill the other's hole.
+TEST(GapFilling, Figure41MutualFillWorksDespiteEqualMaxima) {
+  HostState i(HostId{0}, hosts(2));
+  i.record_message(1, "m1");
+  i.record_message(3, "m3");
+  i.learn_info(HostId{1}, SeqSet::of({2, 3}));
+
+  HostState j(HostId{1}, hosts(2));
+  j.record_message(2, "m2");
+  j.record_message(3, "m3");
+  j.learn_info(HostId{0}, SeqSet::of({1, 3}));
+
+  EXPECT_EQ(plan_far_gapfill(i, HostId{1}, 100), (std::vector<Seq>{1}));
+  EXPECT_EQ(plan_far_gapfill(j, HostId{0}, 100), (std::vector<Seq>{2}));
+}
+
+}  // namespace
+}  // namespace rbcast::core

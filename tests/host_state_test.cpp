@@ -1,0 +1,186 @@
+#include "core/host_state.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast::core {
+namespace {
+
+std::vector<HostId> hosts(int n) {
+  std::vector<HostId> out;
+  for (int i = 0; i < n; ++i) out.push_back(HostId{i});
+  return out;
+}
+
+TEST(HostState, InitialConditionsMatchThePaper) {
+  HostState s(HostId{2}, hosts(4));
+  // "in the beginning each host assumes that it is in a cluster by itself"
+  EXPECT_EQ(s.cluster(), (std::set<HostId>{HostId{2}}));
+  EXPECT_FALSE(s.parent().valid());
+  EXPECT_TRUE(s.info().empty());
+  EXPECT_TRUE(s.children().empty());
+}
+
+TEST(HostState, RecordMessageStoresBodyOnce) {
+  HostState s(HostId{0}, hosts(2));
+  EXPECT_TRUE(s.record_message(3, "payload"));
+  EXPECT_FALSE(s.record_message(3, "other"));
+  ASSERT_NE(s.body_of(3), nullptr);
+  EXPECT_EQ(*s.body_of(3), "payload");
+  EXPECT_EQ(s.body_of(1), nullptr);
+  EXPECT_TRUE(s.has_message(3));
+}
+
+TEST(HostState, MapOfSelfIsInfo) {
+  HostState s(HostId{0}, hosts(2));
+  s.record_message(1, "a");
+  EXPECT_EQ(&s.map(HostId{0}), &s.info());
+}
+
+TEST(HostState, LearnInfoMergesMonotonically) {
+  HostState s(HostId{0}, hosts(3));
+  s.learn_info(HostId{1}, SeqSet::of({1, 2}));
+  s.learn_info(HostId{1}, SeqSet::of({4}));
+  EXPECT_EQ(s.map(HostId{1}).count(), 3u);
+  EXPECT_EQ(s.map(HostId{1}).max_seq(), 4u);
+  // Self-learning is ignored.
+  s.learn_info(HostId{0}, SeqSet::of({9}));
+  EXPECT_TRUE(s.info().empty());
+}
+
+TEST(HostState, LearnHasInsertsSingleSeq) {
+  HostState s(HostId{0}, hosts(2));
+  s.learn_has(HostId{1}, 7);
+  EXPECT_TRUE(s.map(HostId{1}).contains(7));
+}
+
+TEST(HostState, UnknownHostMapIsEmpty) {
+  HostState s(HostId{0}, hosts(3));
+  EXPECT_TRUE(s.map(HostId{2}).empty());
+}
+
+TEST(HostState, CostBitRuleUpdatesCluster) {
+  HostState s(HostId{0}, hosts(3));
+  // Cheap delivery adds.
+  s.update_cluster_from_cost_bit(HostId{1}, /*expensive=*/false);
+  EXPECT_TRUE(s.in_cluster(HostId{1}));
+  // Expensive delivery removes.
+  s.update_cluster_from_cost_bit(HostId{1}, /*expensive=*/true);
+  EXPECT_FALSE(s.in_cluster(HostId{1}));
+  // Self never changes.
+  s.update_cluster_from_cost_bit(HostId{0}, true);
+  EXPECT_TRUE(s.in_cluster(HostId{0}));
+}
+
+TEST(HostState, SetClusterAlwaysIncludesSelf) {
+  HostState s(HostId{0}, hosts(3));
+  s.set_cluster({HostId{1}, HostId{2}});
+  EXPECT_TRUE(s.in_cluster(HostId{0}));
+  EXPECT_TRUE(s.in_cluster(HostId{1}));
+}
+
+TEST(HostState, ParentViewsAndOwnParent) {
+  HostState s(HostId{0}, hosts(4));
+  EXPECT_FALSE(s.parent_of(HostId{1}).valid());  // unknown -> NIL
+  s.learn_parent(HostId{1}, HostId{2});
+  EXPECT_EQ(s.parent_of(HostId{1}), HostId{2});
+  s.set_parent(HostId{3});
+  EXPECT_EQ(s.parent(), HostId{3});
+  EXPECT_EQ(s.parent_of(HostId{0}), HostId{3});  // p_i[i] is own parent
+  // learn_parent about self is ignored (own pointer is authoritative).
+  s.learn_parent(HostId{0}, HostId{1});
+  EXPECT_EQ(s.parent(), HostId{3});
+}
+
+TEST(HostState, ChildrenSetOperations) {
+  HostState s(HostId{0}, hosts(4));
+  s.add_child(HostId{1});
+  s.add_child(HostId{1});
+  s.add_child(HostId{0});  // self is never a child
+  EXPECT_EQ(s.children().size(), 1u);
+  EXPECT_TRUE(s.is_child(HostId{1}));
+  s.remove_child(HostId{1});
+  EXPECT_TRUE(s.children().empty());
+}
+
+TEST(HostState, NeighborsAreChildrenPlusParent) {
+  HostState s(HostId{0}, hosts(5));
+  s.add_child(HostId{1});
+  s.add_child(HostId{2});
+  EXPECT_EQ(s.neighbors().size(), 2u);
+  s.set_parent(HostId{3});
+  EXPECT_EQ(s.neighbors().size(), 3u);
+  // Parent that is also listed as child is not duplicated.
+  s.add_child(HostId{3});
+  EXPECT_EQ(s.neighbors().size(), 3u);
+}
+
+TEST(HostState, AncestorWalkFollowsParentViews) {
+  HostState s(HostId{0}, hosts(5));
+  s.set_parent(HostId{1});
+  s.learn_parent(HostId{1}, HostId{2});
+  s.learn_parent(HostId{2}, HostId{3});
+  const auto walk = s.ancestors_of_self();
+  EXPECT_FALSE(walk.cycle);
+  EXPECT_EQ(walk.ancestors,
+            (std::vector<HostId>{HostId{1}, HostId{2}, HostId{3}}));
+}
+
+TEST(HostState, AncestorWalkDetectsCycleThroughSelf) {
+  HostState s(HostId{0}, hosts(4));
+  s.set_parent(HostId{1});
+  s.learn_parent(HostId{1}, HostId{2});
+  s.learn_parent(HostId{2}, HostId{0});  // back to self
+  const auto walk = s.ancestors_of_self();
+  EXPECT_TRUE(walk.cycle);
+  EXPECT_EQ(walk.ancestors, (std::vector<HostId>{HostId{1}, HostId{2}}));
+}
+
+TEST(HostState, AncestorWalkToleratesForeignCycle) {
+  // A stale view can contain a cycle that does not include self; the walk
+  // must terminate without reporting a self-cycle.
+  HostState s(HostId{0}, hosts(4));
+  s.set_parent(HostId{1});
+  s.learn_parent(HostId{1}, HostId{2});
+  s.learn_parent(HostId{2}, HostId{1});
+  const auto walk = s.ancestors_of_self();
+  EXPECT_FALSE(walk.cycle);
+}
+
+TEST(HostState, SafePrefixIsMinOverAllHosts) {
+  HostState s(HostId{0}, hosts(3));
+  for (Seq q = 1; q <= 5; ++q) s.record_message(q, "b");
+  EXPECT_EQ(s.safe_prefix(), 0u);  // nothing known about hosts 1, 2
+  s.learn_info(HostId{1}, SeqSet::contiguous(4));
+  EXPECT_EQ(s.safe_prefix(), 0u);  // still nothing about host 2
+  s.learn_info(HostId{2}, SeqSet::contiguous(5));
+  EXPECT_EQ(s.safe_prefix(), 4u);  // min(5, 4, 5)
+}
+
+TEST(HostState, SafePrefixIgnoresHolesAboveThePrefix) {
+  HostState s(HostId{0}, hosts(2));
+  s.record_message(1, "b");
+  s.record_message(3, "b");
+  s.learn_info(HostId{1}, SeqSet::of({1, 2, 3}));
+  EXPECT_EQ(s.safe_prefix(), 1u);  // own hole at 2
+}
+
+TEST(HostState, PruneDropsBodiesButKeepsContainment) {
+  HostState s(HostId{0}, hosts(1));
+  for (Seq q = 1; q <= 10; ++q) s.record_message(q, "b");
+  s.prune(7);
+  EXPECT_EQ(s.body_of(7), nullptr);
+  ASSERT_NE(s.body_of(8), nullptr);
+  EXPECT_TRUE(s.has_message(7));
+  EXPECT_EQ(s.info().max_seq(), 10u);
+}
+
+TEST(HostState, OrderIsHostIdValue) {
+  EXPECT_LT(HostState::order(HostId{1}), HostState::order(HostId{5}));
+}
+
+TEST(HostState, RejectsSelfNotInAllHosts) {
+  EXPECT_THROW(HostState(HostId{9}, hosts(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbcast::core

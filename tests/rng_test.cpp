@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbcast::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCasesAreDeterministic) {
+  Rng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_FALSE(r.chance(-1.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngFactory, StreamsAreReproducible) {
+  RngFactory f(99);
+  Rng a = f.stream("workload", 1);
+  Rng b = f.stream("workload", 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngFactory, StreamsDifferByPurpose) {
+  RngFactory f(99);
+  Rng a = f.stream("workload");
+  Rng b = f.stream("faults");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngFactory, StreamsDifferByIndex) {
+  RngFactory f(99);
+  Rng a = f.stream("link", 0);
+  Rng b = f.stream("link", 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngFactory, RootSeedChangesEverything) {
+  RngFactory f1(1);
+  RngFactory f2(2);
+  EXPECT_NE(f1.stream("x").uniform(), f2.stream("x").uniform());
+}
+
+}  // namespace
+}  // namespace rbcast::util

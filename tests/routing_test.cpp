@@ -1,0 +1,168 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/topology.h"
+
+namespace rbcast::net {
+namespace {
+
+// A 4-server line: s0 - s1 - s2 - s3 (all cheap).
+struct Line {
+  topo::Topology t;
+  ServerId s[4];
+  LinkId l01, l12, l23;
+  std::set<LinkId> down;
+
+  Line() {
+    for (auto& server : s) server = t.add_server();
+    l01 = t.add_link(s[0], s[1], topo::LinkClass::kCheap);
+    l12 = t.add_link(s[1], s[2], topo::LinkClass::kCheap);
+    l23 = t.add_link(s[2], s[3], topo::LinkClass::kCheap);
+  }
+
+  [[nodiscard]] auto up_fn() {
+    return [this](LinkId id) { return !down.contains(id); };
+  }
+};
+
+TEST(Routing, NextHopAlongLine) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), 0);
+  routing.recompute_now();
+
+  EXPECT_EQ(routing.next_hop(line.s[0], line.s[3]), line.s[1]);
+  EXPECT_EQ(routing.next_hop(line.s[1], line.s[3]), line.s[2]);
+  EXPECT_EQ(routing.next_hop(line.s[3], line.s[0]), line.s[2]);
+  EXPECT_EQ(routing.next_hop(line.s[0], line.s[0]), line.s[0]);
+}
+
+TEST(Routing, UnreachableGivesNoHop) {
+  Line line;
+  line.down.insert(line.l12);
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), 0);
+  routing.recompute_now();
+
+  EXPECT_FALSE(routing.next_hop(line.s[0], line.s[3]).valid());
+  EXPECT_EQ(routing.next_hop(line.s[0], line.s[1]), line.s[1]);
+}
+
+TEST(Routing, ConvergenceLagDelaysNewRoutes) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), sim::milliseconds(100));
+  routing.recompute_now();
+  EXPECT_EQ(routing.next_hop(line.s[0], line.s[3]), line.s[1]);
+
+  // Cut the middle; routes must stay stale until the lag passes.
+  line.down.insert(line.l12);
+  routing.notify_change();
+  sim.run_until(sim::milliseconds(50));
+  EXPECT_EQ(routing.next_hop(line.s[0], line.s[3]), line.s[1]);  // stale
+  sim.run_until(sim::milliseconds(150));
+  EXPECT_FALSE(routing.next_hop(line.s[0], line.s[3]).valid());  // converged
+}
+
+TEST(Routing, CoalescesBackToBackChanges) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), sim::milliseconds(100));
+  routing.recompute_now();
+  const int before = routing.recompute_count();
+  routing.notify_change();
+  routing.notify_change();
+  routing.notify_change();
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(routing.recompute_count(), before + 1);
+}
+
+TEST(Routing, PrefersCheapPathOverShorterExpensiveOne) {
+  // s0 ==expensive== s1   versus   s0 -cheap- s2 -cheap- s1.
+  topo::Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  const ServerId s2 = t.add_server();
+  t.add_link(s0, s1, topo::LinkClass::kExpensive);
+  t.add_link(s0, s2, topo::LinkClass::kCheap);
+  t.add_link(s2, s1, topo::LinkClass::kCheap);
+
+  sim::Simulator sim;
+  Routing routing(sim, t, [](LinkId) { return true; }, 0);
+  routing.recompute_now();
+  EXPECT_EQ(routing.next_hop(s0, s1), s2);
+}
+
+TEST(Routing, FallsBackToExpensiveWhenCheapPathDies) {
+  topo::Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  const ServerId s2 = t.add_server();
+  t.add_link(s0, s1, topo::LinkClass::kExpensive);
+  const LinkId cheap1 = t.add_link(s0, s2, topo::LinkClass::kCheap);
+  t.add_link(s2, s1, topo::LinkClass::kCheap);
+
+  std::set<LinkId> down{cheap1};
+  sim::Simulator sim;
+  Routing routing(
+      sim, t, [&down](LinkId id) { return !down.contains(id); }, 0);
+  routing.recompute_now();
+  EXPECT_EQ(routing.next_hop(s0, s1), s1);  // direct expensive hop
+}
+
+// The communication-transitivity assumption (Section 2): if x reaches y and
+// y reaches z, then after convergence x reaches z.
+TEST(Routing, TransitivityHoldsAfterConvergence) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), 0);
+  routing.recompute_now();
+
+  auto reaches = [&](ServerId from, ServerId to) {
+    ServerId at = from;
+    for (std::size_t hops = 0; hops < 10; ++hops) {
+      if (at == to) return true;
+      const ServerId next = routing.next_hop(at, to);
+      if (!next.valid()) return false;
+      at = next;
+    }
+    return false;
+  };
+
+  ASSERT_TRUE(reaches(line.s[0], line.s[1]));
+  ASSERT_TRUE(reaches(line.s[1], line.s[3]));
+  EXPECT_TRUE(reaches(line.s[0], line.s[3]));
+}
+
+TEST(Routing, PathReturnsFullServerSequence) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), 0);
+  routing.recompute_now();
+
+  EXPECT_EQ(routing.path(line.s[0], line.s[3]),
+            (std::vector<ServerId>{line.s[0], line.s[1], line.s[2],
+                                   line.s[3]}));
+  EXPECT_EQ(routing.path(line.s[2], line.s[2]),
+            (std::vector<ServerId>{line.s[2]}));
+
+  line.down.insert(line.l12);
+  routing.recompute_now();
+  EXPECT_TRUE(routing.path(line.s[0], line.s[3]).empty());
+}
+
+TEST(Routing, RoutesAreSymmetricOnSymmetricTopology) {
+  Line line;
+  sim::Simulator sim;
+  Routing routing(sim, line.t, line.up_fn(), 0);
+  routing.recompute_now();
+  // Forward and reverse walks traverse the same servers.
+  EXPECT_EQ(routing.next_hop(line.s[1], line.s[2]), line.s[2]);
+  EXPECT_EQ(routing.next_hop(line.s[2], line.s[1]), line.s[1]);
+}
+
+}  // namespace
+}  // namespace rbcast::net

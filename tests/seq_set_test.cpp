@@ -1,0 +1,336 @@
+// Unit tests for SeqSet — the representation of the paper's INFO sets.
+#include "util/seq_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace rbcast::util {
+namespace {
+
+TEST(SeqSet, StartsEmpty) {
+  SeqSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.max_seq(), 0u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.gaps().empty());
+}
+
+TEST(SeqSet, InsertReportsNovelty) {
+  SeqSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(SeqSet, AdjacentInsertionsCoalesce) {
+  SeqSet s;
+  s.insert(3);
+  s.insert(4);
+  s.insert(2);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0].lo, 2u);
+  EXPECT_EQ(s.intervals()[0].hi, 4u);
+}
+
+TEST(SeqSet, BridgingInsertMergesTwoIntervals) {
+  SeqSet s;
+  s.insert(1);
+  s.insert(3);
+  ASSERT_EQ(s.intervals().size(), 2u);
+  s.insert(2);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SeqSet, NonAdjacentInsertionsStaySeparate) {
+  SeqSet s;
+  s.insert(1);
+  s.insert(5);
+  s.insert(9);
+  EXPECT_EQ(s.intervals().size(), 3u);
+  EXPECT_EQ(s.max_seq(), 9u);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SeqSet, ContiguousConstructor) {
+  SeqSet s = SeqSet::contiguous(10);
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.max_seq(), 10u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(11));
+  EXPECT_EQ(s.intervals().size(), 1u);
+
+  EXPECT_TRUE(SeqSet::contiguous(0).empty());
+}
+
+TEST(SeqSet, OfConstructor) {
+  SeqSet s = SeqSet::of({7, 2, 2, 9});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_TRUE(s.contains(9));
+}
+
+TEST(SeqSet, InsertRange) {
+  SeqSet s;
+  s.insert_range(3, 7);
+  EXPECT_EQ(s.count(), 5u);
+  s.insert_range(6, 10);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.intervals().size(), 1u);
+}
+
+TEST(SeqSet, MergeUnionsSets) {
+  SeqSet a = SeqSet::of({1, 2, 5});
+  SeqSet b = SeqSet::of({2, 3, 9});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_TRUE(a.contains(9));
+}
+
+// --- the paper's partial order -----------------------------------------
+
+TEST(SeqSet, PaperOrderComparesMaxima) {
+  // A < B iff max(A) < max(B); note {5} > {1,2,3,4} despite fewer elements.
+  SeqSet a = SeqSet::of({1, 2, 3, 4});
+  SeqSet b = SeqSet::of({5});
+  EXPECT_TRUE(a.less_than(b));
+  EXPECT_FALSE(b.less_than(a));
+  EXPECT_FALSE(a.max_equal(b));
+}
+
+TEST(SeqSet, PaperOrderMaxEqual) {
+  SeqSet a = SeqSet::of({1, 3});
+  SeqSet b = SeqSet::of({2, 3});
+  EXPECT_TRUE(a.max_equal(b));
+  EXPECT_FALSE(a.less_than(b));
+}
+
+TEST(SeqSet, EmptySetIsDominatedByAnyNonEmpty) {
+  SeqSet empty;
+  SeqSet one = SeqSet::of({1});
+  EXPECT_TRUE(empty.less_than(one));
+  EXPECT_TRUE(empty.max_equal(SeqSet{}));
+}
+
+// --- gap queries ------------------------------------------------------
+
+TEST(SeqSet, GapsEnumeratesHoles) {
+  SeqSet s = SeqSet::of({1, 4, 5, 8});
+  EXPECT_EQ(s.gaps(), (std::vector<Seq>{2, 3, 6, 7}));
+}
+
+TEST(SeqSet, GapsRespectsLimit) {
+  SeqSet s = SeqSet::of({10});
+  EXPECT_EQ(s.gaps(3), (std::vector<Seq>{1, 2, 3}));
+}
+
+TEST(SeqSet, MissingFromFindsWhatPeerLacks) {
+  SeqSet mine = SeqSet::contiguous(6);
+  SeqSet peer = SeqSet::of({1, 3, 6});
+  EXPECT_EQ(mine.missing_from(peer), (std::vector<Seq>{2, 4, 5}));
+}
+
+TEST(SeqSet, MissingFromCappedStopsAtCap) {
+  SeqSet mine = SeqSet::contiguous(10);
+  SeqSet peer = SeqSet::of({1, 5});
+  // Cap at the peer's max: never offer sequence numbers that would raise it.
+  EXPECT_EQ(mine.missing_from_capped(peer, peer.max_seq()),
+            (std::vector<Seq>{2, 3, 4}));
+}
+
+TEST(SeqSet, MissingFromRespectsLimit) {
+  SeqSet mine = SeqSet::contiguous(100);
+  SeqSet peer;
+  EXPECT_EQ(mine.missing_from(peer, 2), (std::vector<Seq>{1, 2}));
+}
+
+// --- pruning -----------------------------------------------------------
+
+TEST(SeqSet, PruneKeepsContainment) {
+  SeqSet s = SeqSet::contiguous(10);
+  s.prune_below(7);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.max_seq(), 10u);
+  EXPECT_EQ(s.prune_watermark(), 7u);
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0].lo, 8u);
+}
+
+TEST(SeqSet, PruneSplitsPartialInterval) {
+  SeqSet s = SeqSet::of({2, 3, 8, 9});
+  s.prune_below(5);
+  EXPECT_TRUE(s.contains(4));  // pruned range counts as contained
+  EXPECT_TRUE(s.contains(8));
+  EXPECT_EQ(s.max_seq(), 9u);
+}
+
+TEST(SeqSet, PruneEntireSetPreservesMax) {
+  SeqSet s = SeqSet::contiguous(5);
+  s.prune_below(5);
+  EXPECT_EQ(s.max_seq(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.intervals().empty());
+}
+
+TEST(SeqSet, PruneIsMonotone) {
+  SeqSet s = SeqSet::contiguous(10);
+  s.prune_below(7);
+  s.prune_below(3);  // lower watermark is a no-op
+  EXPECT_EQ(s.prune_watermark(), 7u);
+}
+
+TEST(SeqSet, MergePropagatesWatermark) {
+  SeqSet a = SeqSet::of({8});
+  SeqSet b = SeqSet::contiguous(5);
+  b.prune_below(5);
+  a.merge(b);
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_EQ(a.max_seq(), 8u);
+}
+
+TEST(SeqSet, MissingFromSkipsPeerPrunedRange) {
+  SeqSet mine = SeqSet::contiguous(10);
+  SeqSet peer;
+  peer.prune_below(6);  // peer holds 1..6 by convention
+  EXPECT_EQ(mine.missing_from(peer), (std::vector<Seq>{7, 8, 9, 10}));
+}
+
+TEST(SeqSet, ContiguousPrefix) {
+  EXPECT_EQ(SeqSet{}.contiguous_prefix(), 0u);
+  EXPECT_EQ(SeqSet::contiguous(4).contiguous_prefix(), 4u);
+  EXPECT_EQ(SeqSet::of({2, 3}).contiguous_prefix(), 0u);
+  SeqSet s = SeqSet::of({1, 2, 5});
+  EXPECT_EQ(s.contiguous_prefix(), 2u);
+  s.prune_below(2);
+  EXPECT_EQ(s.contiguous_prefix(), 2u);
+  s.insert(3);
+  EXPECT_EQ(s.contiguous_prefix(), 3u);
+}
+
+TEST(SeqSet, WireSizeTracksFragmentation) {
+  SeqSet compact = SeqSet::contiguous(1000);
+  SeqSet fragmented;
+  for (Seq q = 1; q <= 1000; q += 2) fragmented.insert(q);
+  EXPECT_LT(compact.wire_size(), fragmented.wire_size());
+}
+
+TEST(SeqSet, ToStringReadable) {
+  SeqSet s = SeqSet::of({1, 2, 3, 7});
+  EXPECT_EQ(s.to_string(), "{1..3,7}");
+  s.prune_below(2);
+  EXPECT_EQ(s.to_string(), "{1..2(pruned),3,7}");
+}
+
+// --- wire codec ---------------------------------------------------------
+
+TEST(SeqSetCodec, RoundTripsTypicalSets) {
+  for (const SeqSet& original :
+       {SeqSet{}, SeqSet::contiguous(10), SeqSet::of({1, 5, 6, 9}),
+        SeqSet::of({3})}) {
+    const auto bytes = original.encode();
+    EXPECT_EQ(bytes.size(), original.wire_size());
+    const auto decoded = SeqSet::decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+TEST(SeqSetCodec, RoundTripsPrunedSets) {
+  SeqSet s = SeqSet::contiguous(20);
+  s.insert(25);
+  s.prune_below(18);
+  const auto decoded = SeqSet::decode(s.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+  EXPECT_EQ(decoded->prune_watermark(), 18u);
+  EXPECT_TRUE(decoded->contains(5));  // via the watermark
+  EXPECT_TRUE(decoded->contains(25));
+}
+
+TEST(SeqSetCodec, RejectsMalformedInput) {
+  // Truncated header.
+  std::vector<std::uint8_t> short_buf(4, 0);
+  EXPECT_FALSE(SeqSet::decode(short_buf).has_value());
+  // Length not a whole number of intervals.
+  std::vector<std::uint8_t> ragged(8 + 7, 0);
+  EXPECT_FALSE(SeqSet::decode(ragged).has_value());
+  // lo > hi.
+  SeqSet good = SeqSet::of({5});
+  auto bytes = good.encode();
+  std::swap_ranges(bytes.begin() + 8, bytes.begin() + 16, bytes.begin() + 16);
+  auto corrupt = SeqSet::of({2, 9}).encode();
+  // Build an explicitly invalid buffer: interval [9, 2].
+  std::vector<std::uint8_t> bad;
+  bad.resize(24, 0);
+  bad[8] = 9;   // lo = 9
+  bad[16] = 2;  // hi = 2
+  EXPECT_FALSE(SeqSet::decode(bad).has_value());
+}
+
+TEST(SeqSetCodec, RejectsOverlappingOrUnorderedIntervals) {
+  // Two adjacent intervals [1,3][4,6] violate maximality.
+  std::vector<std::uint8_t> adjacent(8 + 32, 0);
+  adjacent[8] = 1;
+  adjacent[16] = 3;
+  adjacent[24] = 4;
+  adjacent[32] = 6;
+  EXPECT_FALSE(SeqSet::decode(adjacent).has_value());
+
+  // Interval at or below the watermark.
+  std::vector<std::uint8_t> under(8 + 16, 0);
+  under[0] = 5;  // watermark 5
+  under[8] = 3;  // lo = 3 <= watermark
+  under[16] = 4;
+  EXPECT_FALSE(SeqSet::decode(under).has_value());
+}
+
+TEST(SeqSetCodec, RandomizedRoundTrip) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    SeqSet s;
+    for (int i = 0; i < 40; ++i) s.insert(1 + rng() % 100);
+    if (trial % 3 == 0) s.prune_below(1 + rng() % 20);
+    const auto decoded = SeqSet::decode(s.encode());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, s);
+  }
+}
+
+// Differential test against std::set over random operations.
+TEST(SeqSet, RandomizedDifferentialAgainstStdSet) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    SeqSet ours;
+    std::set<Seq> reference;
+    for (int op = 0; op < 400; ++op) {
+      const Seq q = 1 + rng() % 60;
+      const bool inserted_ref = reference.insert(q).second;
+      const bool inserted_ours = ours.insert(q);
+      ASSERT_EQ(inserted_ours, inserted_ref);
+    }
+    ASSERT_EQ(ours.count(), reference.size());
+    ASSERT_EQ(ours.max_seq(), *reference.rbegin());
+    for (Seq q = 1; q <= 61; ++q) {
+      ASSERT_EQ(ours.contains(q), reference.contains(q)) << "q=" << q;
+    }
+    // Gap agreement.
+    std::vector<Seq> expected_gaps;
+    for (Seq q = 1; q < *reference.rbegin(); ++q) {
+      if (!reference.contains(q)) expected_gaps.push_back(q);
+    }
+    ASSERT_EQ(ours.gaps(), expected_gaps);
+  }
+}
+
+}  // namespace
+}  // namespace rbcast::util

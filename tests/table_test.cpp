@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rbcast::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{1});
+  t.row().cell("b").cell(std::int64_t{12345});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header separator rules: top, below header, bottom.
+  std::size_t rules = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, DoubleFormattingRespectsDecimals) {
+  Table t({"x"});
+  t.row().cell(3.14159, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("one").cell(std::int64_t{2});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\none,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("x");
+  t.row().cell("y");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsEmptyColumnList) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ShortRowsPrintBlank) {
+  Table t({"a", "b"});
+  t.row().cell("only");
+  std::ostringstream os;
+  t.print(os);  // must not crash; second column renders empty
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbcast::util

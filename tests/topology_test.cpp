@@ -1,0 +1,160 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace rbcast::topo {
+namespace {
+
+auto all_up = [](LinkId) { return true; };
+
+TEST(Topology, BuildBasicNetwork) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  const LinkId l = t.add_link(s0, s1, LinkClass::kCheap);
+  const HostId h0 = t.add_host(s0);
+  const HostId h1 = t.add_host(s1);
+
+  EXPECT_EQ(t.server_count(), 2u);
+  EXPECT_EQ(t.host_count(), 2u);
+  EXPECT_EQ(t.link_count(), 3u);  // trunk + 2 access links
+  EXPECT_EQ(t.host(h0).server, s0);
+  EXPECT_EQ(t.host(h1).server, s1);
+  EXPECT_FALSE(t.link(l).is_access);
+  EXPECT_TRUE(t.link(t.host(h0).access_link).is_access);
+}
+
+TEST(Topology, RejectsInvalidConstruction) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  EXPECT_THROW(t.add_link(s0, s0, LinkClass::kCheap), std::invalid_argument);
+  EXPECT_THROW(t.add_link(s0, ServerId{5}, LinkClass::kCheap),
+               std::invalid_argument);
+  t.add_host(s0);
+  EXPECT_THROW(t.add_host(s0), std::invalid_argument);  // one host per server
+}
+
+TEST(Topology, TrunkLinksExcludeAccessLinks) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  t.add_host(s0);
+  const LinkId trunk = t.add_link(s0, s1, LinkClass::kExpensive);
+  ASSERT_EQ(t.trunk_links_of(s0).size(), 1u);
+  EXPECT_EQ(t.trunk_links_of(s0)[0], trunk);
+}
+
+TEST(Topology, TransmissionTimeScalesWithSizeAndBandwidth) {
+  LinkSpec cheap{.id = LinkId{0},
+                 .a = ServerId{0},
+                 .b = ServerId{1},
+                 .link_class = LinkClass::kCheap,
+                 .params = LinkParams::cheap_defaults()};
+  LinkSpec expensive = cheap;
+  expensive.link_class = LinkClass::kExpensive;
+  expensive.params = LinkParams::expensive_defaults();
+
+  EXPECT_LT(cheap.transmission_time(1000), expensive.transmission_time(1000));
+  EXPECT_LT(cheap.transmission_time(100), cheap.transmission_time(10000));
+  // 1000 bytes at 56 kbit/s is ~143 ms.
+  EXPECT_NEAR(sim::to_seconds(expensive.transmission_time(1000)), 0.143,
+              0.005);
+}
+
+TEST(Topology, ClustersFollowCheapConnectivity) {
+  // Two cheap islands joined by an expensive trunk.
+  Topology t;
+  const ServerId a0 = t.add_server();
+  const ServerId a1 = t.add_server();
+  const ServerId b0 = t.add_server();
+  t.add_link(a0, a1, LinkClass::kCheap);
+  t.add_link(a1, b0, LinkClass::kExpensive);
+  const HostId ha0 = t.add_host(a0);
+  const HostId ha1 = t.add_host(a1);
+  const HostId hb0 = t.add_host(b0);
+
+  const auto clusters = t.clusters(all_up);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<HostId>{ha0, ha1}));
+  EXPECT_EQ(clusters[1], (std::vector<HostId>{hb0}));
+
+  const auto idx = t.host_cluster_index(all_up);
+  EXPECT_EQ(idx[0], idx[1]);
+  EXPECT_NE(idx[0], idx[2]);
+}
+
+TEST(Topology, CheapLinkFailureSplitsCluster) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  const LinkId cheap = t.add_link(s0, s1, LinkClass::kCheap);
+  t.add_host(s0);
+  t.add_host(s1);
+
+  EXPECT_EQ(t.clusters(all_up).size(), 1u);
+  auto down = [cheap](LinkId l) { return l != cheap; };
+  EXPECT_EQ(t.clusters(down).size(), 2u);
+}
+
+TEST(Topology, CrashedHostFormsSingletonCluster) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  t.add_link(s0, s1, LinkClass::kCheap);
+  const HostId h0 = t.add_host(s0);
+  t.add_host(s1);
+
+  const LinkId access = t.host(h0).access_link;
+  auto down = [access](LinkId l) { return l != access; };
+  const auto clusters = t.clusters(down);
+  ASSERT_EQ(clusters.size(), 2u);
+}
+
+TEST(Topology, ConnectedSeesAllLinkClasses) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  const ServerId s2 = t.add_server();
+  const LinkId l01 = t.add_link(s0, s1, LinkClass::kCheap);
+  t.add_link(s1, s2, LinkClass::kExpensive);
+  const HostId h0 = t.add_host(s0);
+  const HostId h2 = t.add_host(s2);
+
+  EXPECT_TRUE(t.connected(h0, h2, all_up));
+  auto down = [l01](LinkId l) { return l != l01; };
+  EXPECT_FALSE(t.connected(h0, h2, down));
+}
+
+TEST(Topology, ConnectedRequiresAccessLinks) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  t.add_link(s0, s1, LinkClass::kCheap);
+  const HostId h0 = t.add_host(s0);
+  const HostId h1 = t.add_host(s1);
+  const LinkId access = t.host(h1).access_link;
+  auto down = [access](LinkId l) { return l != access; };
+  EXPECT_FALSE(t.connected(h0, h1, down));
+}
+
+TEST(Topology, SameServerHostsAlwaysConnectedWhenAccessUp) {
+  // Degenerate but legal: connected() via the same server.
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const HostId h0 = t.add_host(s0);
+  EXPECT_TRUE(t.connected(h0, h0, all_up));
+}
+
+TEST(Topology, DescribeSummarizes) {
+  Topology t;
+  const ServerId s0 = t.add_server();
+  const ServerId s1 = t.add_server();
+  t.add_link(s0, s1, LinkClass::kExpensive);
+  t.add_host(s0);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("2 servers"), std::string::npos);
+  EXPECT_NE(d.find("1 expensive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbcast::topo

@@ -1,0 +1,333 @@
+// rbcast_sim — command-line scenario runner.
+//
+// Builds a clustered WAN, runs either the paper's protocol or the basic
+// baseline over a message stream with optional faults, and reports
+// delivery, latency, cost and convergence results — as a table or as CSV
+// for scripting.
+//
+// Examples:
+//   rbcast_sim --clusters 4 --hosts 3 --messages 50
+//   rbcast_sim --protocol basic --loss 0.1 --messages 30
+//   rbcast_sim --clusters 3 --shape line --partition-at 10 --csv
+//              --partition-heal 40 --messages 60
+//   rbcast_sim --flap --messages 100 --seed 7 --verbose
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rbcast.h"
+
+using namespace rbcast;
+
+namespace {
+
+struct CliOptions {
+  int clusters = 3;
+  int hosts = 3;
+  topo::TrunkShape shape = topo::TrunkShape::kRing;
+  bool arpanet = false;
+  harness::ProtocolKind kind = harness::ProtocolKind::kPaper;
+  int messages = 30;
+  int interval_ms = 500;
+  harness::ArrivalProcess arrivals = harness::ArrivalProcess::kUniform;
+  int burst_size = 5;
+  double loss = 0.0;
+  double duplication = 0.0;
+  std::uint64_t seed = 1;
+  double partition_at = -1.0;    // seconds; <0 = no partition
+  double partition_heal = -1.0;  // seconds
+  bool flap = false;
+  double deadline_s = 600.0;
+  bool csv = false;
+  bool verbose = false;
+  std::string dot_prefix;  // write <prefix>.topology.dot / .parents.dot
+  std::string csv_prefix;  // write <prefix>.counters.csv / .latencies.csv
+};
+
+void usage() {
+  std::cout <<
+      "rbcast_sim — reliable broadcast scenario runner\n\n"
+      "topology:\n"
+      "  --clusters N       number of clusters (default 3)\n"
+      "  --hosts N          hosts per cluster (default 3)\n"
+      "  --shape S          trunk shape: line|ring|star|random (default ring)\n"
+      "  --arpanet          use the stylized c.1980 ARPANET map instead\n"
+      "network faults:\n"
+      "  --loss P           trunk loss probability [0,1) (default 0)\n"
+      "  --dup P            trunk duplication probability (default 0)\n"
+      "  --partition-at T   cut trunk 0 at T seconds\n"
+      "  --partition-heal T repair it at T seconds\n"
+      "  --flap             all trunks flap (up ~10s / down ~5s) while the\n"
+      "                     stream runs\n"
+      "workload:\n"
+      "  --protocol P       paper|basic|gossip (default paper)\n"
+      "  --messages N       stream length (default 30)\n"
+      "  --interval-ms N    spacing between broadcasts (default 500)\n"
+      "  --arrivals A       uniform|poisson|bursty (default uniform)\n"
+      "  --burst N          messages per burst for bursty (default 5)\n"
+      "run control:\n"
+      "  --dot PREFIX       write PREFIX.topology.dot and\n"
+      "                     PREFIX.parents.dot (Graphviz) at the end\n"
+      "  --metrics-csv P    write P.counters.csv and P.latencies.csv\n"
+      "  --seed N           experiment seed (default 1)\n"
+      "  --deadline T       give up after T virtual seconds (default 600)\n"
+      "  --csv              machine-readable output\n"
+      "  --verbose          protocol event log on stderr\n"
+      "  --help             this text\n";
+}
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--flap") {
+      options.flap = true;
+    } else if (arg == "--arpanet") {
+      options.arpanet = true;
+    } else if (arg == "--clusters") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.clusters = std::atoi(value);
+    } else if (arg == "--hosts") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.hosts = std::atoi(value);
+    } else if (arg == "--shape") {
+      if ((value = need_value(i)) == nullptr) return false;
+      const std::string s = value;
+      if (s == "line") {
+        options.shape = topo::TrunkShape::kLine;
+      } else if (s == "ring") {
+        options.shape = topo::TrunkShape::kRing;
+      } else if (s == "star") {
+        options.shape = topo::TrunkShape::kStar;
+      } else if (s == "random") {
+        options.shape = topo::TrunkShape::kRandomTree;
+      } else {
+        std::cerr << "unknown shape: " << s << "\n";
+        return false;
+      }
+    } else if (arg == "--protocol") {
+      if ((value = need_value(i)) == nullptr) return false;
+      const std::string p = value;
+      if (p == "paper") {
+        options.kind = harness::ProtocolKind::kPaper;
+      } else if (p == "basic") {
+        options.kind = harness::ProtocolKind::kBasic;
+      } else if (p == "gossip") {
+        options.kind = harness::ProtocolKind::kGossip;
+      } else {
+        std::cerr << "unknown protocol: " << p << "\n";
+        return false;
+      }
+    } else if (arg == "--messages") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.messages = std::atoi(value);
+    } else if (arg == "--interval-ms") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.interval_ms = std::atoi(value);
+    } else if (arg == "--arrivals") {
+      if ((value = need_value(i)) == nullptr) return false;
+      const std::string a = value;
+      if (a == "uniform") {
+        options.arrivals = harness::ArrivalProcess::kUniform;
+      } else if (a == "poisson") {
+        options.arrivals = harness::ArrivalProcess::kPoisson;
+      } else if (a == "bursty") {
+        options.arrivals = harness::ArrivalProcess::kBursty;
+      } else {
+        std::cerr << "unknown arrival process: " << a << "\n";
+        return false;
+      }
+    } else if (arg == "--burst") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.burst_size = std::atoi(value);
+    } else if (arg == "--loss") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.loss = std::atof(value);
+    } else if (arg == "--dup") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.duplication = std::atof(value);
+    } else if (arg == "--dot") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.dot_prefix = value;
+    } else if (arg == "--metrics-csv") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.csv_prefix = value;
+    } else if (arg == "--seed") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--partition-at") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.partition_at = std::atof(value);
+    } else if (arg == "--partition-heal") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.partition_heal = std::atof(value);
+    } else if (arg == "--deadline") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.deadline_s = std::atof(value);
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      return false;
+    }
+  }
+  if (options.clusters < 1 || options.hosts < 1 || options.messages < 0) {
+    std::cerr << "invalid topology/workload parameters\n";
+    return false;
+  }
+  if ((options.partition_at >= 0) != (options.partition_heal >= 0)) {
+    std::cerr << "--partition-at and --partition-heal go together\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  if (cli.verbose) {
+    util::Logger::instance().set_level(util::LogLevel::kInfo);
+  }
+
+  topo::Topology topology;
+  std::vector<LinkId> trunks;
+  if (cli.arpanet) {
+    topo::Arpanet arpa = topo::make_arpanet();
+    for (LinkId trunk : arpa.trunks) {
+      auto params = arpa.topology.link(trunk).params;
+      params.loss_probability = cli.loss;
+      params.duplication_probability = cli.duplication;
+      arpa.topology.set_link_params(trunk, params);
+    }
+    topology = std::move(arpa.topology);
+    trunks = std::move(arpa.trunks);
+  } else {
+    topo::ClusteredWanOptions wan_options;
+    wan_options.clusters = cli.clusters;
+    wan_options.hosts_per_cluster = cli.hosts;
+    wan_options.shape = cli.shape;
+    wan_options.expensive.loss_probability = cli.loss;
+    wan_options.expensive.duplication_probability = cli.duplication;
+    wan_options.cheap.loss_probability = cli.loss / 5.0;
+    wan_options.seed = cli.seed;
+    topo::Wan wan = make_clustered_wan(wan_options);
+    topology = std::move(wan.topology);
+    trunks = std::move(wan.trunks);
+  }
+
+  harness::ScenarioOptions options;
+  options.protocol_kind = cli.kind;
+  options.seed = cli.seed;
+  harness::Experiment e(std::move(topology), options);
+
+  if (cli.partition_at >= 0 && !trunks.empty()) {
+    e.faults().partition_window({trunks[0]},
+                                sim::from_seconds(cli.partition_at),
+                                sim::from_seconds(cli.partition_heal));
+  }
+  if (cli.flap && !trunks.empty()) {
+    e.faults().flapping(trunks, sim::seconds(10), sim::seconds(5),
+                        sim::from_seconds(cli.deadline_s), e.rngs());
+  }
+
+  e.start();
+  harness::WorkloadOptions workload;
+  workload.process = cli.arrivals;
+  workload.messages = cli.messages;
+  workload.interval = sim::milliseconds(cli.interval_ms);
+  workload.burst_size = cli.burst_size;
+  workload.first_at = sim::seconds(1);
+  schedule_workload(e, workload, util::Rng(cli.seed));
+  const sim::TimePoint done =
+      e.run_until_delivered(sim::from_seconds(cli.deadline_s));
+
+  // --- report --------------------------------------------------------------
+
+  const auto& metrics = e.metrics();
+  const auto latency = metrics.all_latencies();
+  const bool complete = e.all_delivered();
+
+  util::Table summary({"metric", "value"});
+  summary.row().cell("network").cell(e.topology().describe());
+  summary.row().cell("protocol").cell(
+      cli.kind == harness::ProtocolKind::kPaper
+          ? "paper"
+          : (cli.kind == harness::ProtocolKind::kBasic ? "basic" : "gossip"));
+  summary.row().cell("messages").cell(
+      static_cast<std::int64_t>(cli.messages));
+  summary.row().cell("delivered everywhere").cell(complete ? "yes" : "NO");
+  summary.row().cell("completion time (s)").cell(sim::to_seconds(done), 2);
+  summary.row().cell("mean delay (s)").cell(latency.mean(), 4);
+  summary.row().cell("p95 delay (s)").cell(latency.quantile(0.95), 4);
+  summary.row().cell("inter-cluster data sends").cell(
+      metrics.intercluster_data_sends());
+  summary.row().cell("inter-cluster control sends").cell(
+      metrics.intercluster_control_sends());
+  summary.row().cell("total sends").cell(
+      metrics.counter_prefix_sum("send.") -
+      metrics.counter_prefix_sum("send.intercluster."));
+  summary.row().cell("drops").cell(metrics.counter_prefix_sum("drop."));
+  const LinkId hot = metrics.busiest_trunk();
+  if (hot.valid()) {
+    std::ostringstream hot_desc;
+    hot_desc << hot << " at "
+             << static_cast<int>(metrics.link_utilization(hot) * 100)
+             << "% busy";
+    summary.row().cell("busiest trunk").cell(hot_desc.str());
+  }
+
+  if (cli.kind == harness::ProtocolKind::kPaper) {
+    const auto report = e.convergence();
+    summary.row().cell("tree rooted at source").cell(
+        report.tree_rooted_at_source ? "yes" : "no");
+    summary.row().cell("induces cluster tree").cell(
+        report.induces_cluster_tree ? "yes" : "no");
+    summary.row().cell("cluster leaders").cell(
+        static_cast<std::int64_t>(report.leader_count));
+  }
+
+  if (cli.csv) {
+    summary.print_csv(std::cout);
+  } else {
+    summary.print(std::cout);
+  }
+
+  if (!cli.csv_prefix.empty()) {
+    std::ofstream counters_out(cli.csv_prefix + ".counters.csv");
+    metrics.write_counters_csv(counters_out);
+    std::ofstream latencies_out(cli.csv_prefix + ".latencies.csv");
+    metrics.write_latencies_csv(latencies_out);
+    std::cerr << "wrote " << cli.csv_prefix << ".counters.csv and "
+              << cli.csv_prefix << ".latencies.csv\n";
+  }
+
+  if (!cli.dot_prefix.empty()) {
+    std::ofstream topo_out(cli.dot_prefix + ".topology.dot");
+    trace::write_topology_dot(topo_out, e.network());
+    std::cerr << "wrote " << cli.dot_prefix << ".topology.dot\n";
+    if (cli.kind == harness::ProtocolKind::kPaper) {
+      std::ofstream parents_out(cli.dot_prefix + ".parents.dot");
+      trace::write_parent_graph_dot(parents_out, e.host_views(),
+                                    e.network(), e.source());
+      std::cerr << "wrote " << cli.dot_prefix << ".parents.dot\n";
+    }
+  }
+  return complete ? 0 : 1;
+}
