@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arpanet.dir/bench_arpanet.cpp.o"
+  "CMakeFiles/bench_arpanet.dir/bench_arpanet.cpp.o.d"
+  "bench_arpanet"
+  "bench_arpanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arpanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

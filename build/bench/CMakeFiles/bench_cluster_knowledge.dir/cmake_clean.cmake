@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_knowledge.dir/bench_cluster_knowledge.cpp.o"
+  "CMakeFiles/bench_cluster_knowledge.dir/bench_cluster_knowledge.cpp.o.d"
+  "bench_cluster_knowledge"
+  "bench_cluster_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

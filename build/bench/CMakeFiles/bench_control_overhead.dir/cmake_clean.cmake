@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_overhead.dir/bench_control_overhead.cpp.o"
+  "CMakeFiles/bench_control_overhead.dir/bench_control_overhead.cpp.o.d"
+  "bench_control_overhead"
+  "bench_control_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31.dir/bench_fig31.cpp.o"
+  "CMakeFiles/bench_fig31.dir/bench_fig31.cpp.o.d"
+  "bench_fig31"
+  "bench_fig31.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32.dir/bench_fig32.cpp.o"
+  "CMakeFiles/bench_fig32.dir/bench_fig32.cpp.o.d"
+  "bench_fig32"
+  "bench_fig32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig41.dir/bench_fig41.cpp.o"
+  "CMakeFiles/bench_fig41.dir/bench_fig41.cpp.o.d"
+  "bench_fig41"
+  "bench_fig41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_outage_drill.dir/wan_outage_drill.cpp.o"
+  "CMakeFiles/wan_outage_drill.dir/wan_outage_drill.cpp.o.d"
+  "wan_outage_drill"
+  "wan_outage_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_outage_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

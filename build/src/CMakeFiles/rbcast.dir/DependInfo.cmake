@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attachment.cpp" "src/CMakeFiles/rbcast.dir/core/attachment.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/attachment.cpp.o.d"
+  "/root/repo/src/core/basic_protocol.cpp" "src/CMakeFiles/rbcast.dir/core/basic_protocol.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/basic_protocol.cpp.o.d"
+  "/root/repo/src/core/broadcast_host.cpp" "src/CMakeFiles/rbcast.dir/core/broadcast_host.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/broadcast_host.cpp.o.d"
+  "/root/repo/src/core/gap_filling.cpp" "src/CMakeFiles/rbcast.dir/core/gap_filling.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/gap_filling.cpp.o.d"
+  "/root/repo/src/core/gossip_protocol.cpp" "src/CMakeFiles/rbcast.dir/core/gossip_protocol.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/gossip_protocol.cpp.o.d"
+  "/root/repo/src/core/host_state.cpp" "src/CMakeFiles/rbcast.dir/core/host_state.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/host_state.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/CMakeFiles/rbcast.dir/core/messages.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/messages.cpp.o.d"
+  "/root/repo/src/core/multi_source.cpp" "src/CMakeFiles/rbcast.dir/core/multi_source.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/multi_source.cpp.o.d"
+  "/root/repo/src/core/ordered_delivery.cpp" "src/CMakeFiles/rbcast.dir/core/ordered_delivery.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/core/ordered_delivery.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/rbcast.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/rbcast.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/model/checker.cpp" "src/CMakeFiles/rbcast.dir/model/checker.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/model/checker.cpp.o.d"
+  "/root/repo/src/model/model_node.cpp" "src/CMakeFiles/rbcast.dir/model/model_node.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/model/model_node.cpp.o.d"
+  "/root/repo/src/net/fault_plan.cpp" "src/CMakeFiles/rbcast.dir/net/fault_plan.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/net/fault_plan.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/rbcast.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rbcast.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/rbcast.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/CMakeFiles/rbcast.dir/net/server.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/net/server.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rbcast.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rbcast.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/CMakeFiles/rbcast.dir/topo/generators.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/topo/generators.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/rbcast.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/trace/convergence.cpp" "src/CMakeFiles/rbcast.dir/trace/convergence.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/trace/convergence.cpp.o.d"
+  "/root/repo/src/trace/dot_export.cpp" "src/CMakeFiles/rbcast.dir/trace/dot_export.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/trace/dot_export.cpp.o.d"
+  "/root/repo/src/trace/event_log.cpp" "src/CMakeFiles/rbcast.dir/trace/event_log.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/trace/event_log.cpp.o.d"
+  "/root/repo/src/trace/metrics.cpp" "src/CMakeFiles/rbcast.dir/trace/metrics.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/trace/metrics.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/rbcast.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rbcast.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/seq_set.cpp" "src/CMakeFiles/rbcast.dir/util/seq_set.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/util/seq_set.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rbcast.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rbcast.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rbcast.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

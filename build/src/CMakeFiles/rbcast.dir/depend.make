@@ -1,0 +1,2 @@
+# Empty dependencies file for rbcast.
+# This may be replaced when dependencies are built.

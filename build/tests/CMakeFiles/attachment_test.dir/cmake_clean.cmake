@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attachment_test.dir/attachment_test.cpp.o"
+  "CMakeFiles/attachment_test.dir/attachment_test.cpp.o.d"
+  "attachment_test"
+  "attachment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attachment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

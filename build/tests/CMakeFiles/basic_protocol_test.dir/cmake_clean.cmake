@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_protocol_test.dir/basic_protocol_test.cpp.o"
+  "CMakeFiles/basic_protocol_test.dir/basic_protocol_test.cpp.o.d"
+  "basic_protocol_test"
+  "basic_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_host_test.dir/broadcast_host_test.cpp.o"
+  "CMakeFiles/broadcast_host_test.dir/broadcast_host_test.cpp.o.d"
+  "broadcast_host_test"
+  "broadcast_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

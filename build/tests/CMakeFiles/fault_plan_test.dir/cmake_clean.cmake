@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_plan_test.dir/fault_plan_test.cpp.o"
+  "CMakeFiles/fault_plan_test.dir/fault_plan_test.cpp.o.d"
+  "fault_plan_test"
+  "fault_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

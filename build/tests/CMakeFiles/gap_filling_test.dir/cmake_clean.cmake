@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_filling_test.dir/gap_filling_test.cpp.o"
+  "CMakeFiles/gap_filling_test.dir/gap_filling_test.cpp.o.d"
+  "gap_filling_test"
+  "gap_filling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_filling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_state_test.dir/host_state_test.cpp.o"
+  "CMakeFiles/host_state_test.dir/host_state_test.cpp.o.d"
+  "host_state_test"
+  "host_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

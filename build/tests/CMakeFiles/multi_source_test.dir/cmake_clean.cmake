@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_test.dir/multi_source_test.cpp.o"
+  "CMakeFiles/multi_source_test.dir/multi_source_test.cpp.o.d"
+  "multi_source_test"
+  "multi_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

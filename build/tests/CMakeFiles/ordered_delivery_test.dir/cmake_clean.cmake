@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_delivery_test.dir/ordered_delivery_test.cpp.o"
+  "CMakeFiles/ordered_delivery_test.dir/ordered_delivery_test.cpp.o.d"
+  "ordered_delivery_test"
+  "ordered_delivery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

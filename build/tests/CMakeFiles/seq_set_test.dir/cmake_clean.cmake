@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_set_test.dir/seq_set_test.cpp.o"
+  "CMakeFiles/seq_set_test.dir/seq_set_test.cpp.o.d"
+  "seq_set_test"
+  "seq_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

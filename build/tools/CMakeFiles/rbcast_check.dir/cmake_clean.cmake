@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbcast_check.dir/rbcast_check.cpp.o"
+  "CMakeFiles/rbcast_check.dir/rbcast_check.cpp.o.d"
+  "rbcast_check"
+  "rbcast_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbcast_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

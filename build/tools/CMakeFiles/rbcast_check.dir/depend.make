@@ -1,0 +1,2 @@
+# Empty dependencies file for rbcast_check.
+# This may be replaced when dependencies are built.

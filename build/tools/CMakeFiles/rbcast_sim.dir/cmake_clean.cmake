@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbcast_sim.dir/rbcast_sim.cpp.o"
+  "CMakeFiles/rbcast_sim.dir/rbcast_sim.cpp.o.d"
+  "rbcast_sim"
+  "rbcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
