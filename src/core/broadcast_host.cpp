@@ -250,6 +250,8 @@ std::set<HostId> BroadcastHost::current_exclusions() {
 void BroadcastHost::attachment_round() {
   // "The procedure is run at all hosts but the source."
   if (is_source()) return;
+  // A handshake is in flight iff its timeout is armed.
+  RBCAST_PARANOID_ASSERT(pending_attach_.valid() == attach_timer_.valid());
   if (pending_attach_.valid()) return;  // handshake already in flight
 
   const auto excluded = current_exclusions();

@@ -18,7 +18,6 @@
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/attachment.h"
@@ -141,11 +140,13 @@ class BroadcastHost {
   sim::EventId attach_timer_{};
 
   // Candidates whose handshake recently timed out, with expiry times.
-  std::unordered_map<HostId, sim::TimePoint> failed_candidates_;
+  // Ordered: current_exclusions() iterates it, and the exclusion order
+  // feeds attachment decisions.
+  std::map<HostId, sim::TimePoint> failed_candidates_;
 
   // Liveness bookkeeping.
   sim::TimePoint last_parent_heard_{0};
-  std::unordered_map<HostId, sim::TimePoint> last_heard_;
+  std::map<HostId, sim::TimePoint> last_heard_;
 
   Counters counters_;
 

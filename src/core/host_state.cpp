@@ -21,9 +21,25 @@ HostState::HostState(HostId self, std::vector<HostId> all_hosts)
   cluster_.insert(self_);
 }
 
+void HostState::check_invariants() const {
+#if defined(RBCAST_PARANOID)
+  // "CLUSTER_i always contains i"; a host is never its own child; the two
+  // parent representations agree; every stored body is recorded in INFO.
+  RBCAST_ASSERT(cluster_.contains(self_));
+  RBCAST_ASSERT(!children_.contains(self_));
+  auto self_view = parent_view_.find(self_);
+  RBCAST_ASSERT(self_view == parent_view_.end() ||
+                self_view->second == parent_of_self_);
+  for (const auto& [seq, body] : bodies_) {
+    RBCAST_ASSERT_MSG(info_.contains(seq), "body stored without INFO entry");
+  }
+#endif
+}
+
 bool HostState::record_message(Seq seq, std::string body) {
   if (!info_.insert(seq)) return false;
   bodies_.emplace(seq, std::move(body));
+  check_invariants();
   return true;
 }
 
@@ -75,6 +91,7 @@ void HostState::update_cluster_from_cost_bit(HostId j, bool expensive) {
 void HostState::set_cluster(std::set<HostId> cluster) {
   cluster_ = std::move(cluster);
   cluster_.insert(self_);
+  check_invariants();
 }
 
 HostId HostState::parent_of(HostId j) const {
@@ -86,6 +103,7 @@ HostId HostState::parent_of(HostId j) const {
 void HostState::learn_parent(HostId j, HostId parent) {
   if (j == self_) return;
   parent_view_[j] = parent;
+  check_invariants();
 }
 
 std::vector<HostId> HostState::neighbors() const {

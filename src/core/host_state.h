@@ -13,7 +13,6 @@
 #include <map>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -113,15 +112,20 @@ class HostState {
   [[nodiscard]] AncestorWalk ancestors_of_self() const;
 
  private:
+  // Full-structure consistency sweep; no-op unless RBCAST_PARANOID.
+  void check_invariants() const;
+
   HostId self_;
   std::vector<HostId> all_hosts_;
 
   SeqSet info_;
   std::map<Seq, std::string> bodies_;
-  std::unordered_map<HostId, SeqSet> map_;
+  // Ordered maps: protocol decisions iterate MAP and the parent view, and
+  // hash-order iteration would make runs seed-irreproducible.
+  std::map<HostId, SeqSet> map_;
   std::set<HostId> cluster_;
   std::set<HostId> children_;
-  std::unordered_map<HostId, HostId> parent_view_;
+  std::map<HostId, HostId> parent_view_;
   HostId parent_of_self_{kNoHost};
 };
 

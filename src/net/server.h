@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/routing.h"
@@ -40,8 +40,9 @@ class Server {
  private:
   ServerId id_;
   const Routing* routing_;
-  // Incident trunks grouped by neighbor server, in insertion order.
-  std::unordered_map<ServerId, std::vector<LinkId>> links_by_neighbor_;
+  // Incident trunks grouped by neighbor server (ordered by neighbor id;
+  // within a neighbor, insertion order).
+  std::map<ServerId, std::vector<LinkId>> links_by_neighbor_;
   std::uint64_t forwarded_{0};
 };
 

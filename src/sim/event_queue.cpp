@@ -10,6 +10,8 @@ EventId EventQueue::schedule(TimePoint t, Action action) {
   heap_.push(Entry{t, seq});
   actions_.emplace(seq, std::move(action));
   ++live_;
+  RBCAST_PARANOID_ASSERT(actions_.size() == live_);
+  RBCAST_PARANOID_ASSERT(heap_.size() >= live_);
   return EventId{seq};
 }
 
@@ -44,6 +46,7 @@ EventQueue::Fired EventQueue::pop() {
   Fired fired{top.time, std::move(it->second)};
   actions_.erase(it);
   --live_;
+  RBCAST_PARANOID_ASSERT(actions_.size() == live_);
   return fired;
 }
 

@@ -10,8 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -62,8 +62,10 @@ class EventQueue {
 
   void skip_cancelled() const;
 
+  // Ordered by seq: iteration order (and thus any derived behavior) must
+  // not depend on a hash function — see tools/rbcast_lint.cpp.
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Action> actions_;  // seq -> action
+  std::map<std::uint64_t, Action> actions_;  // seq -> action
   std::uint64_t next_seq_{1};
   std::size_t live_{0};
 };

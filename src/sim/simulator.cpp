@@ -27,6 +27,8 @@ void Simulator::run_until(TimePoint t) {
   RBCAST_ASSERT_MSG(t >= now_, "cannot run backwards");
   while (!queue_.empty() && queue_.next_time() <= t) {
     auto fired = queue_.pop();
+    RBCAST_PARANOID_ASSERT_MSG(fired.time >= now_,
+                               "virtual time ran backwards");
     now_ = fired.time;
     fired.action();
   }
@@ -41,6 +43,8 @@ void Simulator::run_to_completion() {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
+  RBCAST_PARANOID_ASSERT_MSG(fired.time >= now_,
+                             "virtual time ran backwards");
   now_ = fired.time;
   fired.action();
   return true;

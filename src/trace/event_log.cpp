@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
 namespace rbcast::trace {
 
@@ -96,6 +97,41 @@ std::vector<Event> EventLog::between(sim::TimePoint from,
     if (e.at >= from && e.at < to) out.push_back(e);
   }
   return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void mix(std::uint64_t& h, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  mix_bytes(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+std::uint64_t EventLog::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const Event& e : events_) {
+    mix(h, e.at);
+    mix(h, static_cast<std::int32_t>(e.type));
+    mix(h, e.host.value);
+    mix(h, e.peer.value);
+    mix(h, e.seq);
+    mix_bytes(h, e.detail.data(), e.detail.size());
+    mix(h, '\n');
+  }
+  return h;
 }
 
 void EventLog::dump(std::ostream& os, bool include_deliveries) const {

@@ -66,6 +66,12 @@ class EventLog final : public core::ProtocolObserver {
   // `include_deliveries`.
   void dump(std::ostream& os, bool include_deliveries = false) const;
 
+  // Order-sensitive FNV-1a digest over every recorded event (timestamp,
+  // type, host, peer, seq, detail). Two runs of the same seed must produce
+  // identical digests — the runtime half of the determinism gate
+  // (rbcast_check --determinism-check).
+  [[nodiscard]] std::uint64_t digest() const;
+
   void clear() { events_.clear(); }
 
  private:

@@ -18,7 +18,6 @@
 #include <iosfwd>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/message.h"
@@ -120,8 +119,10 @@ class Metrics : public net::NetObserver {
   net::Network& network_;
 
   util::CounterMap counters_;
-  std::unordered_map<ServerId, util::Accumulator> backlog_;
-  std::unordered_map<LinkId, sim::Duration> link_busy_;
+  // Ordered: busiest_trunk() iterates link_busy_ and breaks utilization
+  // ties by iteration order, which must be stable across runs.
+  std::map<ServerId, util::Accumulator> backlog_;
+  std::map<LinkId, sim::Duration> link_busy_;
   sim::TimePoint window_start_{0};
 
   std::map<Seq, sim::TimePoint> broadcast_at_;

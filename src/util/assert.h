@@ -43,3 +43,27 @@ namespace rbcast::util {
       throw std::invalid_argument(std::string("rbcast: ") + (msg));      \
     }                                                                    \
   } while (false)
+
+// Paranoid invariant checks: whole-structure sweeps that are too expensive
+// for hot paths in normal builds (full container scans, cross-structure
+// consistency). Compiled in when RBCAST_PARANOID is defined — the
+// asan-ubsan preset turns it on — and compiled out (but still
+// type-checked) otherwise.
+#if defined(RBCAST_PARANOID)
+#define RBCAST_PARANOID_ASSERT(expr) RBCAST_ASSERT(expr)
+#define RBCAST_PARANOID_ASSERT_MSG(expr, msg) RBCAST_ASSERT_MSG(expr, msg)
+#else
+#define RBCAST_PARANOID_ASSERT(expr) \
+  do {                               \
+    if (false) {                     \
+      (void)(expr);                  \
+    }                                \
+  } while (false)
+#define RBCAST_PARANOID_ASSERT_MSG(expr, msg) \
+  do {                                        \
+    if (false) {                              \
+      (void)(expr);                           \
+      (void)(msg);                            \
+    }                                         \
+  } while (false)
+#endif

@@ -1,0 +1,291 @@
+#include "lint/lint_engine.h"
+
+#include <cctype>
+#include <regex>
+
+namespace rbcast::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool in_protocol_layer(std::string_view path) {
+  return starts_with(path, "src/core/") || starts_with(path, "src/sim/") ||
+         starts_with(path, "src/net/");
+}
+
+bool is_rng_source(std::string_view path) {
+  return path == "src/util/rng.h" || path == "src/util/rng.cpp";
+}
+
+bool is_header(std::string_view path) {
+  return path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// True when `orig_line` carries a "// lint:allow(rule)" waiver.
+bool suppressed(const std::string& orig_line, std::string_view rule) {
+  const std::string token = "lint:allow(" + std::string(rule) + ")";
+  return orig_line.find(token) != std::string::npos;
+}
+
+const std::regex& raw_random_re() {
+  static const std::regex re(
+      R"(std::random_device)"
+      R"(|\brand\s*\()"
+      R"(|\bsrand\s*\()"
+      R"(|\btime\s*\(\s*(NULL|nullptr|0)?\s*\))"
+      R"(|\bclock\s*\(\s*\))"
+      R"(|\bgettimeofday\s*\()"
+      R"(|std::chrono::(system_clock|steady_clock|high_resolution_clock)::now)");
+  return re;
+}
+
+const std::regex& unordered_container_re() {
+  static const std::regex re(
+      R"(std::unordered_(map|set)\b|#\s*include\s*<unordered_(map|set)>)");
+  return re;
+}
+
+const std::regex& direct_output_re() {
+  static const std::regex re(
+      R"(std::cout\b|std::cerr\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\()");
+  return re;
+}
+
+const std::regex& raw_assert_re() {
+  static const std::regex re(
+      R"(\bassert\s*\(|#\s*include\s*<cassert>|#\s*include\s*<assert\.h>)");
+  return re;
+}
+
+// Extracts the range expression of a range-based for on `line`
+// ("for (decl : expr)"), or "" when the line has none. Good enough for the
+// single-line loops this codebase writes; a loop split across lines is the
+// clang-tidy gate's problem, not ours.
+std::string range_for_expr(const std::string& line) {
+  static const std::regex head(R"(\bfor\s*\()");
+  std::smatch m;
+  if (!std::regex_search(line, m, head)) return {};
+  const std::size_t open = static_cast<std::size_t>(m.position(0)) +
+                           m.str(0).size() - 1;
+  int paren = 0;
+  int angle = 0;
+  int bracket = 0;
+  std::size_t colon = std::string::npos;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(') ++paren;
+    else if (c == ')') {
+      --paren;
+      if (paren == 0) {
+        close = i;
+        break;
+      }
+    } else if (c == '<') ++angle;
+    else if (c == '>') angle = angle > 0 ? angle - 1 : 0;
+    else if (c == '[') ++bracket;
+    else if (c == ']') --bracket;
+    else if (c == ':' && paren == 1 && angle == 0 && bracket == 0 &&
+             colon == std::string::npos) {
+      // Skip scope resolution '::'.
+      const bool scope = (i + 1 < line.size() && line[i + 1] == ':') ||
+                         (i > 0 && line[i - 1] == ':');
+      if (!scope) colon = i;
+    }
+  }
+  if (colon == std::string::npos || close == std::string::npos) return {};
+  std::string expr = line.substr(colon + 1, close - colon - 1);
+  const auto first = expr.find_first_not_of(" \t");
+  const auto last = expr.find_last_not_of(" \t");
+  if (first == std::string::npos) return {};
+  return expr.substr(first, last - first + 1);
+}
+
+void add(std::vector<Finding>& out, std::string_view path, int line,
+         std::string rule, std::string message) {
+  out.push_back(Finding{std::string(path), line, std::move(rule),
+                        std::move(message)});
+}
+
+}  // namespace
+
+std::string strip_comments(std::string_view source) {
+  std::string out(source);
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (i + 1 < out.size() && next != '\n') out[i + 1] = ' ';
+          out[i] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (i + 1 < out.size() && next != '\n') out[i + 1] = ' ';
+          out[i] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> unordered_identifiers(std::string_view source) {
+  const std::string code = strip_comments(source);
+  std::vector<std::string> ids;
+  static const std::regex decl(R"(std::unordered_(map|set)\s*<)");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Walk past the balanced template argument list.
+    std::size_t i = static_cast<std::size_t>(it->position(0)) +
+                    it->str(0).size();
+    int depth = 1;
+    while (i < code.size() && depth > 0) {
+      if (code[i] == '<') ++depth;
+      else if (code[i] == '>') --depth;
+      ++i;
+    }
+    if (depth != 0) continue;
+    while (i < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[i])) ||
+            code[i] == '&' || code[i] == '*')) {
+      ++i;
+    }
+    if (i < code.size() && code[i] == ':') continue;  // ::iterator etc.
+    std::string name;
+    while (i < code.size() &&
+           (std::isalnum(static_cast<unsigned char>(code[i])) ||
+            code[i] == '_')) {
+      name.push_back(code[i]);
+      ++i;
+    }
+    if (!name.empty() &&
+        !std::isdigit(static_cast<unsigned char>(name.front()))) {
+      ids.push_back(std::move(name));
+    }
+  }
+  return ids;
+}
+
+std::vector<Finding> lint_file(std::string_view path, std::string_view source,
+                               const std::set<std::string>& unordered_ids) {
+  std::vector<Finding> findings;
+  if (!starts_with(path, "src/")) return findings;
+
+  const std::string code = strip_comments(source);
+  const std::vector<std::string> orig_lines = split_lines(source);
+  const std::vector<std::string> code_lines = split_lines(code);
+
+  const bool protocol = in_protocol_layer(path);
+  const bool rng_ok = is_rng_source(path);
+
+  for (std::size_t n = 0; n < code_lines.size(); ++n) {
+    const std::string& line = code_lines[n];
+    const std::string& orig = orig_lines[n];
+    const int lineno = static_cast<int>(n) + 1;
+
+    if (!rng_ok && std::regex_search(line, raw_random_re()) &&
+        !suppressed(orig, "raw-random")) {
+      add(findings, path, lineno, "raw-random",
+          "nondeterministic randomness/time source; draw from a named "
+          "util::RngFactory stream (src/util/rng.h) so runs replay from "
+          "their seed");
+    }
+    if (protocol && std::regex_search(line, unordered_container_re()) &&
+        !suppressed(orig, "unordered-container")) {
+      add(findings, path, lineno, "unordered-container",
+          "unordered containers iterate in hash order, which varies across "
+          "standard libraries and runs; use std::map/std::set or keep a "
+          "sorted snapshot");
+    }
+    if (!unordered_ids.empty()) {
+      const std::string expr = range_for_expr(line);
+      if (!expr.empty() && unordered_ids.contains(expr) &&
+          !suppressed(orig, "unordered-range-for")) {
+        add(findings, path, lineno, "unordered-range-for",
+            "range-for over unordered container '" + expr +
+                "' is seed-irreproducible; iterate a sorted snapshot");
+      }
+    }
+    if (protocol && std::regex_search(line, direct_output_re()) &&
+        !suppressed(orig, "direct-output")) {
+      add(findings, path, lineno, "direct-output",
+          "direct stdout/stderr output in protocol code; use "
+          "RBCAST_LOG/RBCAST_INFO (src/util/logging.h) so records carry "
+          "virtual time and tests stay silent");
+    }
+    if (std::regex_search(line, raw_assert_re()) &&
+        !suppressed(orig, "raw-assert")) {
+      add(findings, path, lineno, "raw-assert",
+          "raw assert() compiles out under NDEBUG; use RBCAST_ASSERT "
+          "(src/util/assert.h) so invariants hold in release builds");
+    }
+  }
+
+  if (is_header(path) &&
+      source.find("#pragma once") == std::string_view::npos) {
+    add(findings, path, 1, "pragma-once", "header is missing #pragma once");
+  }
+  return findings;
+}
+
+}  // namespace rbcast::lint

@@ -1,0 +1,66 @@
+// rbcast_lint rule engine.
+//
+// Repo-specific determinism rules that generic tools (clang-tidy, the
+// sanitizers) cannot express. The protocol claims checked by
+// src/model/checker.cpp and tests/claims_test.cpp are only falsifiable if a
+// run is bit-for-bit reproducible from its seed, so the rules ban every
+// source of hidden nondeterminism:
+//
+//   raw-random            rand()/srand()/time(NULL)/std::random_device/
+//                         wall-clock reads anywhere in src/ except the
+//                         seeded stream factory src/util/rng.*
+//   unordered-container   std::unordered_map / std::unordered_set in the
+//                         protocol layers (src/core, src/sim, src/net) —
+//                         hash iteration order is not stable across
+//                         libraries, ASLR or seeds
+//   unordered-range-for   range-for over an identifier declared with an
+//                         unordered container type, anywhere in src/
+//   direct-output         std::cout / printf in the protocol layers; all
+//                         diagnostics go through src/util/logging.h so the
+//                         virtual clock is attached and tests stay silent
+//   raw-assert            assert() / <cassert>; invariants use
+//                         RBCAST_ASSERT (src/util/assert.h) so they fire in
+//                         release builds too
+//   pragma-once           every header under src/ carries #pragma once
+//
+// A line can opt out of one rule with a trailing comment:
+//   // lint:allow(rule-name) reason
+//
+// The engine is pure (path + contents in, findings out) so
+// tests/lint_rules_test.cpp can feed it known-good and known-bad snippets.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbcast::lint {
+
+struct Finding {
+  std::string file;
+  int line{0};
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// Replaces // and /* */ comments with spaces, preserving newlines so line
+// numbers computed on the result match the original. String and character
+// literals are also blanked (a "rand()" inside a string is not a call).
+[[nodiscard]] std::string strip_comments(std::string_view source);
+
+// Identifiers declared (or bound) with std::unordered_map /
+// std::unordered_set type in `source`. Feeds the unordered-range-for rule.
+[[nodiscard]] std::vector<std::string> unordered_identifiers(
+    std::string_view source);
+
+// Lints one file. `path` must be repo-relative ("src/core/foo.cpp") — the
+// directory-scoped rules key off it. `unordered_ids` is the union of
+// unordered-typed identifiers harvested from the whole tree.
+[[nodiscard]] std::vector<Finding> lint_file(
+    std::string_view path, std::string_view source,
+    const std::set<std::string>& unordered_ids);
+
+}  // namespace rbcast::lint

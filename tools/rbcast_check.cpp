@@ -10,16 +10,77 @@
 //   rbcast_check --hosts 2 --depth 16          # deeper, smaller system
 //   rbcast_check --clusters 0,0,1 --walks 5000 # random-walk mode
 //   rbcast_check --mutant double-delivery      # watch the checker catch it
+//   rbcast_check --determinism-check           # replay gate (see below)
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "rbcast.h"
 
 using namespace rbcast;
 
 namespace {
+
+// --- determinism self-check ---------------------------------------------
+//
+// The runtime half of the determinism gate (the static half is
+// rbcast_lint): run the full simulator on the same topology and seed
+// twice, and require bit-identical protocol event logs (via
+// trace::EventLog::digest()). Any hidden nondeterminism — hash-order
+// iteration, unseeded randomness, address-dependent tie-breaks — shows up
+// as a digest mismatch. CI runs this under ASan/UBSan.
+
+struct DeterminismScenario {
+  std::string name;
+  topo::Topology topology;
+};
+
+std::vector<DeterminismScenario> determinism_scenarios() {
+  std::vector<DeterminismScenario> out;
+  out.push_back({"figure-3.2", topo::make_figure_3_2().topology});
+  out.push_back({"figure-4.1", topo::make_figure_4_1().topology});
+  topo::ClusteredWanOptions wan;
+  wan.clusters = 3;
+  wan.hosts_per_cluster = 3;
+  wan.shape = topo::TrunkShape::kRing;
+  wan.seed = 7;
+  out.push_back({"clustered-wan-ring-3x3", topo::make_clustered_wan(wan).topology});
+  out.push_back({"single-cluster-5", topo::make_single_cluster(5).topology});
+  return out;
+}
+
+std::uint64_t run_once(const topo::Topology& topology, std::uint64_t seed) {
+  harness::ScenarioOptions options;
+  options.source = HostId{0};
+  options.seed = seed;
+  harness::Experiment experiment(topology, options);
+  experiment.start();
+  experiment.broadcast_stream(15, sim::milliseconds(500), sim::seconds(1));
+  experiment.run_for(sim::seconds(60));
+  return experiment.events().digest();
+}
+
+int run_determinism_check(std::uint64_t seed) {
+  bool ok = true;
+  std::cout << "determinism check: two runs per topology, seed " << seed
+            << "\n";
+  for (DeterminismScenario& scenario : determinism_scenarios()) {
+    const std::uint64_t first = run_once(scenario.topology, seed);
+    const std::uint64_t second = run_once(scenario.topology, seed);
+    const bool match = first == second;
+    ok = ok && match;
+    std::cout << "  " << std::left << std::setw(24) << scenario.name
+              << " digest " << std::hex << std::setw(16) << first << " / "
+              << std::setw(16) << second << std::dec
+              << (match ? "  OK" : "  MISMATCH") << "\n";
+  }
+  std::cout << (ok ? "result: all event logs bit-identical\n"
+                   : "result: NONDETERMINISM detected\n");
+  return ok ? 0 : 1;
+}
 
 void usage() {
   std::cout <<
@@ -37,6 +98,8 @@ void usage() {
       "  --steps N         steps per walk (default 150)\n"
       "  --seed N          random-walk seed (default 1)\n"
       "  --mutant M        inject a bug: double-delivery | accept-anyone\n"
+      "  --determinism-check  run each built-in topology twice on the same\n"
+      "                    seed and require identical event-log digests\n"
       "  --help            this text\n";
 }
 
@@ -53,6 +116,7 @@ int main(int argc, char** argv) {
   int steps = 150;
   std::uint64_t seed = 1;
   bool clusters_given = false;
+  bool determinism_check = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +152,8 @@ int main(int argc, char** argv) {
       steps = std::atoi(value());
     } else if (arg == "--seed") {
       seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--determinism-check") {
+      determinism_check = true;
     } else if (arg == "--mutant") {
       const std::string m = value();
       if (m == "double-delivery") {
@@ -103,6 +169,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (determinism_check) return run_determinism_check(seed);
   if (!clusters_given) {
     config.cluster_of.clear();
     for (int i = 0; i < config.hosts; ++i) config.cluster_of.push_back(i);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the curated check set (.clang-tidy) over every
+# first-party translation unit and fails on any diagnostic
+# (WarningsAsErrors: '*' upgrades them all).
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir]
+#
+# The build dir must have a compilation database; any configured preset
+# produces one (CMAKE_EXPORT_COMPILE_COMMANDS is ON globally). If the
+# default dir has none, the script configures it first. Exits 0 with a
+# notice when clang-tidy is not installed (the CI tidy job installs it;
+# local runs without it should not break the workflow).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "$tidy" ]]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to run the gate)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring $build_dir for a compilation database"
+  cmake -B "$build_dir" -S "$repo_root" > /dev/null
+fi
+
+# First-party TUs only: the gate owns src/, tools/, tests/, bench/,
+# examples/ but not whatever the toolchain drops into the build tree.
+mapfile -t files < <(cd "$repo_root" && \
+  find src tools tests bench examples -name '*.cpp' | sort)
+
+echo "run_tidy.sh: $("$tidy" --version | head -n 1)"
+echo "run_tidy.sh: checking ${#files[@]} translation units"
+
+runner="$(command -v run-clang-tidy || true)"
+status=0
+if [[ -n "$runner" ]]; then
+  # Parallel runner; -quiet keeps the output to the diagnostics.
+  (cd "$repo_root" && "$runner" -quiet -p "$build_dir" "${files[@]}") || status=$?
+else
+  for f in "${files[@]}"; do
+    (cd "$repo_root" && "$tidy" -quiet -p "$build_dir" "$f") || status=$?
+  done
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy.sh: FAILED — fix the diagnostics above (or, if a check is wrong for this codebase, argue its exclusion in .clang-tidy)"
+  exit 1
+fi
+echo "run_tidy.sh: clean"
