@@ -3,13 +3,27 @@
 // Not a paper experiment: these quantify the cost of the building blocks
 // (INFO-set operations, event queue, routing recompute, full simulation
 // throughput) so that scenario wall-times are explainable.
+//
+// This binary is also the repo's perf gate: CI runs it with
+// --benchmark_format=json and tools/bench_compare.py checks the result
+// against the committed BENCH_micro.json baseline (see DESIGN.md §8).
+// The SeqSet workloads are deliberately split into dense (few intervals,
+// millions of elements — where interval-native algorithms must be
+// O(intervals), not O(elements)), sparse (many small intervals) and
+// adversarial (maximally fragmented, worst-case coalescing) shapes.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "rbcast.h"
 
 namespace {
 
 using namespace rbcast;
+
+// --- SeqSet: insertion ---------------------------------------------------
 
 void BM_SeqSetInsertSequential(benchmark::State& state) {
   for (auto _ : state) {
@@ -35,6 +49,85 @@ void BM_SeqSetInsertWithGaps(benchmark::State& state) {
 }
 BENCHMARK(BM_SeqSetInsertWithGaps)->Arg(1000)->Arg(10000);
 
+// Bulk range insertion: blocks of `kBlock` arriving out of order, the shape
+// of attach-time back-fill bursts. Interval-native insert_range makes each
+// block O(log intervals), independent of the block length.
+void BM_SeqSetInsertRangeBlocks(benchmark::State& state) {
+  constexpr util::Seq kBlock = 1024;
+  const auto blocks = static_cast<util::Seq>(state.range(0));
+  for (auto _ : state) {
+    util::SeqSet s;
+    // Even blocks first, then the odd blocks that bridge them.
+    for (util::Seq b = 0; b < blocks; b += 2) {
+      s.insert_range(b * kBlock + 1, (b + 1) * kBlock);
+    }
+    for (util::Seq b = 1; b < blocks; b += 2) {
+      s.insert_range(b * kBlock + 1, (b + 1) * kBlock);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(kBlock));
+}
+BENCHMARK(BM_SeqSetInsertRangeBlocks)->Arg(64)->Arg(1024);
+
+// --- SeqSet: merge (the per-INFO-exchange cost) --------------------------
+
+// Dense-large: both sides hold millions of elements in a handful of
+// intervals — the caught-up steady state at production stream lengths.
+// Cost must scale with the interval count, not the element count.
+void BM_SeqSetMergeDenseLarge(benchmark::State& state) {
+  const auto n = static_cast<util::Seq>(state.range(0));
+  util::SeqSet a = util::SeqSet::contiguous(n);
+  a.insert_range(n + 100, 2 * n);  // one gap near the top
+  util::SeqSet b = util::SeqSet::contiguous(2 * n);
+  for (auto _ : state) {
+    util::SeqSet target = a;
+    target.merge(b);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_SeqSetMergeDenseLarge)->Arg(1 << 20);
+
+// Sparse: many disjoint runs on both sides (lossy-link fragmentation).
+void BM_SeqSetMergeSparse(benchmark::State& state) {
+  const auto runs = static_cast<util::Seq>(state.range(0));
+  util::SeqSet a;
+  util::SeqSet b;
+  for (util::Seq r = 0; r < runs; ++r) {
+    // Disjoint 4-element runs, interleaved between the two sets.
+    a.insert_range(r * 16 + 1, r * 16 + 4);
+    b.insert_range(r * 16 + 8, r * 16 + 11);
+  }
+  for (auto _ : state) {
+    util::SeqSet target = a;
+    target.merge(b);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_SeqSetMergeSparse)->Arg(1024)->Arg(8192);
+
+// Adversarial: odds merged with evens — every merged interval bridges, the
+// worst case for coalescing logic.
+void BM_SeqSetMergeAdversarial(benchmark::State& state) {
+  const auto n = static_cast<util::Seq>(state.range(0));
+  util::SeqSet odds;
+  util::SeqSet evens;
+  for (util::Seq q = 1; q <= n; q += 2) odds.insert(q);
+  for (util::Seq q = 2; q <= n; q += 2) evens.insert(q);
+  for (auto _ : state) {
+    util::SeqSet target = odds;
+    target.merge(evens);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqSetMergeAdversarial)->Arg(1 << 14);
+
+// --- SeqSet: gap queries (the per-gap-fill-round cost) -------------------
+
 void BM_SeqSetMissingFrom(benchmark::State& state) {
   util::SeqSet mine = util::SeqSet::contiguous(10000);
   util::SeqSet peer;
@@ -47,6 +140,59 @@ void BM_SeqSetMissingFrom(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SeqSetMissingFrom);
+
+// Dense-large: a caught-up filler planning for a peer whose few holes sit
+// near the top of a multi-million-message stream. An element-wise scan
+// probes every element below the holes; an interval walk skips straight to
+// them.
+void BM_SeqSetMissingFromDenseLarge(benchmark::State& state) {
+  const auto n = static_cast<util::Seq>(state.range(0));
+  util::SeqSet mine = util::SeqSet::contiguous(n);
+  // 64 single-element holes in the peer's top 1% of the stream.
+  std::vector<util::Seq> holes;
+  for (util::Seq i = 0; i < 64; ++i) holes.push_back(n - 1 - i * (n / 6400));
+  std::sort(holes.begin(), holes.end());
+  util::SeqSet peer;
+  util::Seq cursor = 1;
+  for (util::Seq h : holes) {
+    if (cursor <= h - 1) peer.insert_range(cursor, h - 1);
+    cursor = h + 1;
+  }
+  if (cursor <= n) peer.insert_range(cursor, n);
+  for (auto _ : state) {
+    auto missing = mine.missing_from(peer);
+    benchmark::DoNotOptimize(missing);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqSetMissingFromDenseLarge)->Arg(1 << 20);
+
+// Adversarial: maximally fragmented peer (every other element missing)
+// under a small burst limit — the early-exit path must stay O(output).
+void BM_SeqSetMissingFromAdversarial(benchmark::State& state) {
+  const auto n = static_cast<util::Seq>(state.range(0));
+  util::SeqSet mine = util::SeqSet::contiguous(n);
+  util::SeqSet peer;
+  for (util::Seq q = 2; q <= n; q += 2) peer.insert(q);
+  for (auto _ : state) {
+    auto missing = mine.missing_from(peer, 64);
+    benchmark::DoNotOptimize(missing);
+  }
+}
+BENCHMARK(BM_SeqSetMissingFromAdversarial)->Arg(1 << 16);
+
+void BM_SeqSetGapsFragmented(benchmark::State& state) {
+  const auto n = static_cast<util::Seq>(state.range(0));
+  util::SeqSet s;
+  for (util::Seq q = 1; q <= n; ++q) {
+    if (q % 5 != 0) s.insert(q);
+  }
+  for (auto _ : state) {
+    auto g = s.gaps(64);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_SeqSetGapsFragmented)->Arg(1 << 16);
 
 void BM_SeqSetContains(benchmark::State& state) {
   util::SeqSet s;
@@ -61,6 +207,8 @@ void BM_SeqSetContains(benchmark::State& state) {
 }
 BENCHMARK(BM_SeqSetContains);
 
+// --- event queue ---------------------------------------------------------
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
@@ -72,6 +220,62 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+// Timer churn: the protocol's dominant queue workload is arm/disarm of
+// liveness and attach timers that almost never fire. A lazy-deletion heap
+// with no compaction grows without bound here; the benchmark holds a small
+// live set while cycling many cancelled tombstones through the queue.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const int rearms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    constexpr int kTimers = 64;  // live timers per host-like entity
+    std::vector<sim::EventId> ids(kTimers);
+    for (int i = 0; i < kTimers; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          q.schedule(1000000 + i, [] {});  // far future
+    }
+    for (int r = 0; r < rearms; ++r) {
+      const std::size_t slot = static_cast<std::size_t>(r % kTimers);
+      q.cancel(ids[slot]);
+      ids[slot] = q.schedule(1000000 + r, [] {});
+    }
+    while (!q.empty()) q.pop();
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(10000)->Arg(100000);
+
+// Interleaved schedule/cancel/pop with time progress — the simulator's
+// actual access pattern, including next_time() probes.
+void BM_EventQueueMixed(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> pending;
+    std::uint64_t x = 88172645463325252ULL;  // xorshift, deterministic
+    for (int i = 0; i < ops; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const auto r = x % 100;
+      if (r < 50 || pending.empty()) {
+        pending.push_back(q.schedule(static_cast<sim::TimePoint>(i + x % 64),
+                                     [] {}));
+      } else if (r < 80) {
+        q.cancel(pending[x % pending.size()]);
+      } else if (!q.empty()) {
+        q.pop();
+      }
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueMixed)->Arg(10000);
+
+// --- routing & full scenario --------------------------------------------
 
 void BM_RoutingRecompute(benchmark::State& state) {
   topo::ClusteredWanOptions options;

@@ -71,6 +71,7 @@ Seq BroadcastHost::broadcast(std::string body) {
     if (!state_.map(child).contains(seq)) {
       send_message(child, make_data(seq, *state_.body_of(seq),
                                     /*gap_fill=*/false));
+      note_offered(child, seq);
       ++counters_.data_forwarded;
     }
   }
@@ -157,6 +158,7 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
       if (child == from) continue;
       if (state_.map(child).contains(seq)) continue;
       send_message(child, make_data(seq, body, /*gap_fill=*/false));
+      note_offered(child, seq);
       ++counters_.data_forwarded;
     }
   } else {
@@ -166,7 +168,9 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
     for (HostId n : state_.neighbors()) {
       if (n == from) continue;
       if (state_.map(n).contains(seq)) continue;
+      if (recent_offers(n).contains(seq)) continue;  // just offered it
       send_message(n, make_data(seq, body, /*gap_fill=*/true));
+      note_offered(n, seq);
       ++counters_.gapfills_sent;
     }
   }
@@ -175,6 +179,7 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
 // --- control path ---------------------------------------------------------
 
 void BroadcastHost::handle_info(HostId from, const InfoMsg& m) {
+  clear_refuted_offers(from, m.info);
   state_.learn_info(from, m.info);
   state_.learn_parent(from, m.parent);
   // Reconcile CHILDREN with the sender's own claim. This is what makes the
@@ -191,6 +196,7 @@ void BroadcastHost::handle_info(HostId from, const InfoMsg& m) {
 
 void BroadcastHost::handle_attach_request(HostId from,
                                           const AttachRequest& m) {
+  clear_refuted_offers(from, m.info);
   state_.learn_info(from, m.info);
   state_.add_child(from);
   // The requester will set its parent pointer to us upon our accept.
@@ -200,13 +206,16 @@ void BroadcastHost::handle_attach_request(HostId from,
   // "the parent examines its new child's INFO set and forwards to the
   // child all those messages that the child is missing and that the
   // parent has."
-  for (Seq seq :
-       plan_attach_backfill(state_, m.info, config_.attach_backfill_burst)) {
+  const SeqSet offered = recent_offers(from);
+  for (Seq seq : plan_attach_backfill(state_, m.info,
+                                      config_.attach_backfill_burst,
+                                      &offered)) {
     send_gapfill(from, seq);
   }
 }
 
 void BroadcastHost::handle_attach_accept(HostId from, const AttachAccept& m) {
+  clear_refuted_offers(from, m.info);
   state_.learn_info(from, m.info);
   state_.learn_parent(from, m.parent);
 
@@ -219,6 +228,7 @@ void BroadcastHost::handle_attach_accept(HostId from, const AttachAccept& m) {
     state_.set_parent(from);
     state_.remove_child(from);  // a host cannot be both parent and child
     last_parent_heard_ = simulator_.now();
+    consecutive_attach_timeouts_ = 0;  // contact: immediate retries re-armed
     ++counters_.attaches_completed;
     if (observer_ != nullptr) observer_->on_attached(self(), from);
     RBCAST_DEBUG(self() << " attached to " << from);
@@ -296,10 +306,19 @@ void BroadcastHost::on_attach_timeout(HostId candidate) {
   if (observer_ != nullptr) observer_->on_attach_timeout(self(), candidate);
   // "If the acknowledgment to this message times out, the procedure is
   // repeated to find another candidate with which the given host can
-  // communicate." Exclude the silent one for a few rounds and retry now.
+  // communicate." Exclude the silent one for a few rounds and retry now —
+  // but only a bounded number of times in a row. When *every* candidate is
+  // silent (total partition), back-to-back immediate retries would keep
+  // cycling through the candidate list at rate 1/attach_ack_timeout
+  // (exclusions expire faster than a large list is exhausted), so after
+  // `attach_retry_burst` consecutive timeouts the retries fall back to the
+  // periodic attachment timer.
   failed_candidates_[candidate] =
       simulator_.now() + 4 * config_.attach_period;
-  attachment_round();
+  ++consecutive_attach_timeouts_;
+  if (consecutive_attach_timeouts_ <= config_.attach_retry_burst) {
+    attachment_round();
+  }
 }
 
 void BroadcastHost::detach_from_parent(bool notify, bool timeout) {
@@ -339,8 +358,9 @@ void BroadcastHost::info_round_inter() {
 void BroadcastHost::gapfill_round_neighbor() {
   for (HostId n : state_.neighbors()) {
     if (!state_.in_cluster(n)) continue;  // out-of-cluster peers: far round
+    const SeqSet offered = recent_offers(n);
     const auto plan = plan_neighbor_gapfill(state_, n, state_.is_child(n),
-                                            config_.gapfill_burst);
+                                            config_.gapfill_burst, &offered);
     for (Seq seq : plan) send_gapfill(n, seq);
   }
 }
@@ -352,8 +372,9 @@ void BroadcastHost::gapfill_round_far() {
   // can do this job.
   for (HostId n : state_.neighbors()) {
     if (state_.in_cluster(n)) continue;
+    const SeqSet offered = recent_offers(n);
     const auto plan = plan_neighbor_gapfill(state_, n, state_.is_child(n),
-                                            config_.gapfill_burst);
+                                            config_.gapfill_burst, &offered);
     for (Seq seq : plan) send_gapfill(n, seq);
   }
   if (!config_.nonneighbor_gapfill) return;
@@ -366,7 +387,8 @@ void BroadcastHost::gapfill_round_far() {
   std::vector<HostId> behind;
   for (HostId j : state_.all_hosts()) {
     if (j == self() || neighbor_set.contains(j)) continue;
-    if (!plan_far_gapfill(state_, j, 1).empty()) behind.push_back(j);
+    const SeqSet offered = recent_offers(j);
+    if (!plan_far_gapfill(state_, j, 1, &offered).empty()) behind.push_back(j);
   }
   std::size_t budget = std::min(config_.far_fill_targets, behind.size());
   while (budget-- > 0 && !behind.empty()) {
@@ -374,7 +396,9 @@ void BroadcastHost::gapfill_round_far() {
         rng_.uniform_int(0, static_cast<std::int64_t>(behind.size()) - 1));
     const HostId j = behind[pick];
     behind.erase(behind.begin() + static_cast<std::ptrdiff_t>(pick));
-    const auto plan = plan_far_gapfill(state_, j, config_.gapfill_burst);
+    const SeqSet offered = recent_offers(j);
+    const auto plan = plan_far_gapfill(state_, j, config_.gapfill_burst,
+                                       &offered);
     for (Seq seq : plan) send_gapfill(j, seq);
   }
 }
@@ -401,6 +425,14 @@ void BroadcastHost::maintenance_round() {
     if (now - heard > config_.child_timeout) stale.push_back(child);
   }
   for (HostId child : stale) state_.remove_child(child);
+
+  // Lapsed-offer sweep: keeps the optimistic-offer table bounded even for
+  // peers no planner asks about anymore (e.g. removed children).
+  for (auto host_it = offered_.begin(); host_it != offered_.end();) {
+    std::erase_if(host_it->second,
+                  [now](const auto& kv) { return kv.second <= now; });
+    host_it = host_it->second.empty() ? offered_.erase(host_it) : ++host_it;
+  }
 
   // Section 6 pruning: discard state for the prefix every host is known to
   // have.
@@ -431,7 +463,43 @@ void BroadcastHost::send_gapfill(HostId to, Seq seq) {
   const std::string* body = state_.body_of(seq);
   RBCAST_ASSERT(body != nullptr);
   send_message(to, make_data(seq, *body, /*gap_fill=*/true));
+  note_offered(to, seq);
   ++counters_.gapfills_sent;
+}
+
+void BroadcastHost::note_offered(HostId to, Seq seq) {
+  offered_[to][seq] = simulator_.now() + config_.gapfill_suppress_period;
+}
+
+void BroadcastHost::clear_refuted_offers(HostId from, const SeqSet& reported) {
+  // `reported` is a full INFO snapshot straight from `from`. Any offered
+  // seq it still lacks was lost (or is still in flight — at worst one
+  // spurious re-offer): drop the suppression so the next round re-sends
+  // without waiting for the time-based expiry. This is what keeps the
+  // suppression from delaying genuine loss recovery.
+  auto it = offered_.find(from);
+  if (it == offered_.end()) return;
+  std::erase_if(it->second,
+                [&](const auto& kv) { return !reported.contains(kv.first); });
+  if (it->second.empty()) offered_.erase(it);
+}
+
+SeqSet BroadcastHost::recent_offers(HostId j) {
+  SeqSet live;
+  auto host_it = offered_.find(j);
+  if (host_it == offered_.end()) return live;
+  const sim::TimePoint now = simulator_.now();
+  auto& per_seq = host_it->second;
+  for (auto it = per_seq.begin(); it != per_seq.end();) {
+    if (it->second <= now) {
+      it = per_seq.erase(it);  // lapsed: re-offers allowed again
+    } else {
+      live.insert(it->first);
+      ++it;
+    }
+  }
+  if (per_seq.empty()) offered_.erase(host_it);
+  return live;
 }
 
 }  // namespace rbcast::core

@@ -86,6 +86,10 @@ class BroadcastHost {
   // Forces the attachment procedure to run now (tests).
   void run_attachment_now() { attachment_round(); }
 
+  // Forces one gap-fill round now (tests).
+  void run_gapfill_neighbor_now() { gapfill_round_neighbor(); }
+  void run_gapfill_far_now() { gapfill_round_far(); }
+
   // Seeds CLUSTER_i (static cluster knowledge mode, or "some information
   // to the contrary" at initialization — Section 4.2). Call before start().
   void seed_cluster(std::set<HostId> cluster) {
@@ -117,6 +121,14 @@ class BroadcastHost {
   [[nodiscard]] DataMsg make_data(Seq seq, const std::string& body,
                                   bool gap_fill) const;
   void send_gapfill(HostId to, Seq seq);
+  // Records that `seq` was just offered to `to` (any data send counts);
+  // re-offers are suppressed until the suppress period lapses or the peer
+  // reports an INFO set that still lacks the seq (see clear_refuted_offers).
+  void note_offered(HostId to, Seq seq);
+  // Drops offers toward `from` that its freshly reported INFO refutes.
+  void clear_refuted_offers(HostId from, const SeqSet& reported);
+  // Live (unexpired) offers toward `j`, purging lapsed ones.
+  [[nodiscard]] SeqSet recent_offers(HostId j);
   void begin_attach(HostId candidate, const std::string& rule);
   void on_attach_timeout(HostId candidate);
   void detach_from_parent(bool notify, bool timeout);
@@ -138,6 +150,9 @@ class BroadcastHost {
   // Attach handshake in flight.
   HostId pending_attach_{kNoHost};
   sim::EventId attach_timer_{};
+  // Timeouts since the last completed handshake; once past
+  // Config::attach_retry_burst, retries wait for the periodic timer.
+  std::size_t consecutive_attach_timeouts_{0};
 
   // Candidates whose handshake recently timed out, with expiry times.
   // Ordered: current_exclusions() iterates it, and the exclusion order
@@ -147,6 +162,10 @@ class BroadcastHost {
   // Liveness bookkeeping.
   sim::TimePoint last_parent_heard_{0};
   std::map<HostId, sim::TimePoint> last_heard_;
+
+  // Optimistic offer tracking (duplicate gap-fill suppression): per peer,
+  // the expiry time of each outstanding offer. Ordered for determinism.
+  std::map<HostId, std::map<Seq, sim::TimePoint>> offered_;
 
   Counters counters_;
 

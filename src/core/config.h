@@ -48,6 +48,16 @@ struct Config {
   // procedure is repeated to find another candidate" (Section 4.2).
   sim::Duration attach_ack_timeout{sim::seconds(1)};
 
+  // How many consecutive attach timeouts may trigger an *immediate* retry
+  // against the next candidate. The paper's "the procedure is repeated"
+  // must not degenerate into a request stream at rate 1/attach_ack_timeout
+  // when every candidate is silent (total partition): once this many
+  // retries in a row have timed out, further attempts are left to the
+  // periodic attachment timer (rate 1/attach_period), which keeps attach
+  // traffic bounded however long the partition lasts. Reset on any
+  // completed handshake.
+  std::size_t attach_retry_burst{3};
+
   // Engineering necessity the paper leaves implicit: a parent must
   // eventually forget a child it never hears from, or it would forward
   // data to departed/unreachable children forever.
@@ -57,6 +67,19 @@ struct Config {
 
   // Max gap-fill data messages sent to one peer per periodic round.
   std::size_t gapfill_burst{16};
+
+  // After offering a message to a peer (gap fill, back-fill or forward),
+  // the sender refrains from re-offering the same sequence number to that
+  // peer for this long — the offered seqs are optimistically folded into
+  // the sender's view of the peer's INFO set. Without this, consecutive
+  // gap-fill rounds against a MAP that has not refreshed yet (INFO exchange
+  // is slower than gap filling) re-send identical messages (~10% excess
+  // inter-cluster traffic in E1). Rollback-free: nothing is ever removed
+  // from MAP; when the period lapses an unacknowledged offer is simply
+  // offered again, so a lost gap fill delays redelivery by at most this
+  // period. Should span a couple of neighbor gap-fill rounds and stay
+  // below gapfill_period_far.
+  sim::Duration gapfill_suppress_period{sim::seconds(3)};
   // Max messages back-filled immediately when a new child attaches
   // ("the parent ... forwards to the child all those messages that the
   // child is missing"); the periodic filler finishes longer tails.

@@ -13,30 +13,52 @@ std::vector<Seq> only_stored(const HostState& state, std::vector<Seq> seqs) {
   return seqs;
 }
 
+// The peer's known INFO with the recently offered seqs optimistically
+// folded in. Returns `known` itself when there is nothing to fold (the
+// common case — no copy made).
+const SeqSet& with_offers(const SeqSet& known, const SeqSet* recently_offered,
+                          SeqSet& scratch) {
+  if (recently_offered == nullptr || recently_offered->empty()) return known;
+  scratch = known;
+  scratch.merge(*recently_offered);
+  return scratch;
+}
+
 }  // namespace
 
 std::vector<Seq> plan_attach_backfill(const HostState& state,
                                       const SeqSet& child_info,
-                                      std::size_t burst) {
-  return only_stored(state, state.info().missing_from(child_info, burst));
+                                      std::size_t burst,
+                                      const SeqSet* recently_offered) {
+  SeqSet scratch;
+  const SeqSet& assumed = with_offers(child_info, recently_offered, scratch);
+  return only_stored(state, state.info().missing_from(assumed, burst));
 }
 
 std::vector<Seq> plan_neighbor_gapfill(const HostState& state, HostId j,
-                                       bool j_is_child, std::size_t burst) {
+                                       bool j_is_child, std::size_t burst,
+                                       const SeqSet* recently_offered) {
   const SeqSet& known = state.map(j);
+  SeqSet scratch;
+  const SeqSet& assumed = with_offers(known, recently_offered, scratch);
   if (j_is_child) {
-    return only_stored(state, state.info().missing_from(known, burst));
+    return only_stored(state, state.info().missing_from(assumed, burst));
   }
+  // Cap at the *actual* known max: folded-in offers must suppress
+  // re-offers, never raise what we may push at a non-child.
   return only_stored(
-      state, state.info().missing_from_capped(known, known.max_seq(), burst));
+      state, state.info().missing_from_capped(assumed, known.max_seq(), burst));
 }
 
 std::vector<Seq> plan_far_gapfill(const HostState& state, HostId j,
-                                  std::size_t burst) {
+                                  std::size_t burst,
+                                  const SeqSet* recently_offered) {
   const SeqSet& known = state.map(j);
   if (known.empty()) return {};  // never heard of j's INFO; nothing safe to say
+  SeqSet scratch;
+  const SeqSet& assumed = with_offers(known, recently_offered, scratch);
   return only_stored(
-      state, state.info().missing_from_capped(known, known.max_seq(), burst));
+      state, state.info().missing_from_capped(assumed, known.max_seq(), burst));
 }
 
 }  // namespace rbcast::core

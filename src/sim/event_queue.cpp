@@ -1,13 +1,22 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace rbcast::sim {
 
+namespace {
+// Below this size the heap is left alone: compacting tiny heaps would churn
+// for no measurable memory win.
+constexpr std::size_t kMinCompactSize = 64;
+}  // namespace
+
 EventId EventQueue::schedule(TimePoint t, Action action) {
   RBCAST_ASSERT_MSG(action != nullptr, "null event action");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq});
+  heap_.push_back(Entry{t, seq});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   actions_.emplace(seq, std::move(action));
   ++live_;
   RBCAST_PARANOID_ASSERT(actions_.size() == live_);
@@ -20,33 +29,51 @@ bool EventQueue::cancel(EventId id) {
   if (it == actions_.end()) return false;
   actions_.erase(it);
   --live_;
+  maybe_compact();
+  RBCAST_PARANOID_ASSERT(actions_.size() == live_);
+  RBCAST_PARANOID_ASSERT(heap_.size() >= live_);
   return true;
+}
+
+void EventQueue::maybe_compact() {
+  // Compact once tombstones outnumber live entries. Each compaction is
+  // O(heap) but at least half the heap is dead when it runs, so the cost
+  // amortizes to O(1) per cancellation.
+  if (heap_.size() < kMinCompactSize || heap_.size() - live_ <= live_) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return actions_.find(e.seq) == actions_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  RBCAST_PARANOID_ASSERT(heap_.size() == live_);
 }
 
 void EventQueue::skip_cancelled() const {
   while (!heap_.empty() &&
-         actions_.find(heap_.top().seq) == actions_.end()) {
-    heap_.pop();
+         actions_.find(heap_.front().seq) == actions_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 TimePoint EventQueue::next_time() const {
   skip_cancelled();
   RBCAST_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
   RBCAST_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
   auto it = actions_.find(top.seq);
   RBCAST_ASSERT(it != actions_.end());
   Fired fired{top.time, std::move(it->second)};
   actions_.erase(it);
   --live_;
   RBCAST_PARANOID_ASSERT(actions_.size() == live_);
+  RBCAST_PARANOID_ASSERT(heap_.size() >= live_);
   return fired;
 }
 

@@ -3,15 +3,22 @@
 // A binary heap keyed by (time, insertion sequence). The insertion-sequence
 // tie-break makes simultaneous events fire in the order they were
 // scheduled, which keeps runs deterministic. Cancellation is lazy: a
-// cancelled entry stays in the heap and is skipped on pop, which makes
-// cancel O(1) — important because the protocol arms and disarms many
-// acknowledgment timeouts.
+// cancelled entry stays in the heap as a tombstone and is skipped on pop,
+// which makes cancel O(1) amortized — important because the protocol arms
+// and disarms many acknowledgment timeouts.
+//
+// Tombstones are not allowed to accumulate without bound: when dead
+// entries outnumber live ones the heap is compacted (dead entries filtered
+// out, heap rebuilt). Rebuilding cannot disturb the firing order because
+// the (time, seq) keys of live entries are untouched — the heap is only a
+// different arrangement of the same totally ordered set. This keeps a long
+// run with heavy timer arm/disarm churn at O(live) memory instead of
+// O(total cancellations).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -33,11 +40,15 @@ class EventQueue {
   EventId schedule(TimePoint t, Action action);
 
   // Cancels a pending event. Returns false if it already fired or was
-  // already cancelled.
+  // already cancelled. O(1) amortized (tombstone + periodic compaction).
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Heap entries currently allocated, live + tombstones — exposed so tests
+  // and benchmarks can assert that compaction bounds tombstone growth.
+  [[nodiscard]] std::size_t backing_size() const { return heap_.size(); }
 
   // Time of the earliest pending event; only valid when !empty().
   [[nodiscard]] TimePoint next_time() const;
@@ -61,11 +72,15 @@ class EventQueue {
   };
 
   void skip_cancelled() const;
+  void maybe_compact();
 
-  // Ordered by seq: iteration order (and thus any derived behavior) must
-  // not depend on a hash function — see tools/rbcast_lint.cpp.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::map<std::uint64_t, Action> actions_;  // seq -> action
+  // Min-heap over Entry via std::greater (see operator> above), stored as
+  // an explicit vector so compaction can filter and rebuild it in place.
+  // Ordered by seq within equal times: iteration order (and thus any
+  // derived behavior) must not depend on a hash function — see
+  // tools/rbcast_lint.cpp.
+  mutable std::vector<Entry> heap_;
+  std::map<std::uint64_t, Action> actions_;  // seq -> action (live events)
   std::uint64_t next_seq_{1};
   std::size_t live_{0};
 };

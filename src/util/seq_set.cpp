@@ -21,6 +21,7 @@ SeqSet SeqSet::of(std::initializer_list<Seq> seqs) {
 
 bool SeqSet::insert(Seq seq) {
   RBCAST_ASSERT_MSG(seq >= 1, "sequence numbers start at 1");
+  RBCAST_ASSERT_MSG(seq <= kMaxSeq, "sequence number above ceiling");
   if (seq <= pruned_below_) return false;
 
   // First interval with hi >= seq - 1 can absorb or abut seq.
@@ -52,25 +53,71 @@ bool SeqSet::insert(Seq seq) {
 
 void SeqSet::insert_range(Seq lo, Seq hi) {
   RBCAST_ASSERT_MSG(lo >= 1 && lo <= hi, "insert_range requires 1 <= lo <= hi");
-  // Simple and robust: element-wise insertion is fine for the range sizes
-  // the protocol produces (bursts of a few messages); the contiguous()
-  // constructor below fast-paths the common whole-prefix case.
-  if (intervals_.empty() && lo <= pruned_below_ + 1) {
-    if (hi > pruned_below_) {
-      intervals_.push_back(Interval{std::max<Seq>(lo, pruned_below_ + 1), hi});
-    }
-    return;
+  RBCAST_ASSERT_MSG(hi <= kMaxSeq, "sequence number above ceiling");
+  if (hi <= pruned_below_) return;
+  lo = std::max<Seq>(lo, pruned_below_ + 1);
+
+  // One splice: [first, last) is the run of intervals that [lo, hi] overlaps
+  // or abuts (they all coalesce with it into a single interval).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, Seq q) { return iv.hi + 1 < q; });
+  auto last = first;
+  Seq new_lo = lo;
+  Seq new_hi = hi;
+  while (last != intervals_.end() && last->lo <= hi + 1) {
+    new_lo = std::min<Seq>(new_lo, last->lo);
+    new_hi = std::max<Seq>(new_hi, last->hi);
+    ++last;
   }
-  for (Seq q = lo; q <= hi; ++q) insert(q);
+  if (first == last) {
+    intervals_.insert(first, Interval{new_lo, new_hi});
+  } else {
+    first->lo = new_lo;
+    first->hi = new_hi;
+    intervals_.erase(first + 1, last);
+  }
 }
 
 void SeqSet::merge(const SeqSet& other) {
   if (other.pruned_below_ > pruned_below_) prune_below(other.pruned_below_);
-  for (const Interval& iv : other.intervals_) {
-    Seq lo = std::max<Seq>(iv.lo, pruned_below_ + 1);
-    if (lo > iv.hi) continue;
-    insert_range(lo, iv.hi);
+  if (other.intervals_.empty()) return;
+  if (intervals_.empty()) {
+    // Copy other's intervals, clamped above our (possibly higher) watermark.
+    for (const Interval& iv : other.intervals_) {
+      if (iv.hi <= pruned_below_) continue;
+      intervals_.push_back(
+          Interval{std::max<Seq>(iv.lo, pruned_below_ + 1), iv.hi});
+    }
+    return;
   }
+
+  // Linear two-pointer union: repeatedly take the lower-starting interval
+  // from either input and coalesce it onto the output tail.
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  auto a = intervals_.cbegin();
+  auto b = other.intervals_.cbegin();
+  const auto append = [&](Seq lo, Seq hi) {
+    if (hi <= pruned_below_) return;
+    lo = std::max<Seq>(lo, pruned_below_ + 1);
+    if (!merged.empty() && lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max<Seq>(merged.back().hi, hi);
+    } else {
+      merged.push_back(Interval{lo, hi});
+    }
+  };
+  while (a != intervals_.cend() || b != other.intervals_.cend()) {
+    if (b == other.intervals_.cend() ||
+        (a != intervals_.cend() && a->lo <= b->lo)) {
+      append(a->lo, a->hi);
+      ++a;
+    } else {
+      append(b->lo, b->hi);
+      ++b;
+    }
+  }
+  intervals_ = std::move(merged);
 }
 
 bool SeqSet::contains(Seq seq) const {
@@ -105,11 +152,16 @@ Seq SeqSet::contiguous_prefix() const {
 }
 
 std::vector<Seq> SeqSet::gaps(std::size_t limit) const {
+  // Interval walk: each hole between consecutive intervals is materialized
+  // directly, so the cost is O(intervals + output), never O(max_seq).
   std::vector<Seq> out;
+  if (limit == 0) return out;
   Seq cursor = pruned_below_ + 1;
   for (const Interval& iv : intervals_) {
-    for (Seq q = cursor; q < iv.lo && out.size() < limit; ++q) out.push_back(q);
-    if (out.size() >= limit) return out;
+    for (Seq q = cursor; q < iv.lo; ++q) {
+      out.push_back(q);
+      if (out.size() >= limit) return out;
+    }
     cursor = iv.hi + 1;
   }
   return out;
@@ -123,13 +175,28 @@ std::vector<Seq> SeqSet::missing_from(const SeqSet& other,
 std::vector<Seq> SeqSet::missing_from_capped(const SeqSet& other, Seq cap,
                                              std::size_t limit) const {
   std::vector<Seq> out;
+  if (limit == 0) return out;
   // Everything <= other's prune watermark is contained there by convention.
-  Seq floor = other.pruned_below_;
+  const Seq floor = other.pruned_below_;
+  // Interval walk with a monotone cursor into other's intervals: covered
+  // stretches are skipped in one step, so the cost is O(intervals(this) +
+  // intervals(other) + output) instead of one contains() probe per element.
+  auto ot = other.intervals_.cbegin();
   for (const Interval& iv : intervals_) {
     if (iv.lo > cap) break;
-    Seq hi = std::min<Seq>(iv.hi, cap);
-    for (Seq q = std::max<Seq>(iv.lo, floor + 1); q <= hi; ++q) {
-      if (!other.contains(q)) {
+    const Seq hi = std::min<Seq>(iv.hi, cap);
+    Seq q = std::max<Seq>(iv.lo, floor + 1);
+    while (q <= hi) {
+      while (ot != other.intervals_.cend() && ot->hi < q) ++ot;
+      if (ot != other.intervals_.cend() && ot->lo <= q) {
+        q = ot->hi + 1;  // covered by other: jump past its interval
+        continue;
+      }
+      Seq run_hi = hi;
+      if (ot != other.intervals_.cend()) {
+        run_hi = std::min<Seq>(run_hi, ot->lo - 1);
+      }
+      for (; q <= run_hi; ++q) {
         out.push_back(q);
         if (out.size() >= limit) return out;
       }
@@ -142,6 +209,7 @@ std::vector<Seq> SeqSet::missing_from_capped(const SeqSet& other, Seq cap,
 }
 
 void SeqSet::prune_below(Seq watermark) {
+  RBCAST_ASSERT_MSG(watermark <= kMaxSeq, "prune watermark above ceiling");
   if (watermark <= pruned_below_) return;
   pruned_below_ = watermark;
   auto it = intervals_.begin();
@@ -194,6 +262,10 @@ std::optional<SeqSet> SeqSet::decode(const std::uint8_t* data,
 
   SeqSet out;
   out.pruned_below_ = get_u64(data);
+  // An absurd watermark (e.g. UINT64_MAX) would make every later
+  // pruned_below_ + 1 / count() / contiguous_prefix() computation wrap;
+  // nothing legitimate ever gets near the ceiling, so reject outright.
+  if (out.pruned_below_ > kMaxSeq) return std::nullopt;
   const std::size_t count = (size - 8) / 16;
   Seq prev_hi = out.pruned_below_;
   bool first = true;
@@ -201,8 +273,9 @@ std::optional<SeqSet> SeqSet::decode(const std::uint8_t* data,
     const Seq lo = get_u64(data + 8 + 16 * i);
     const Seq hi = get_u64(data + 8 + 16 * i + 8);
     // Enforce the class invariants on untrusted input: ordered, maximal,
-    // non-overlapping intervals strictly above the watermark.
-    if (lo < 1 || lo > hi) return std::nullopt;
+    // non-overlapping intervals strictly above the watermark, below the
+    // arithmetic-safety ceiling.
+    if (lo < 1 || lo > hi || hi > kMaxSeq) return std::nullopt;
     if (lo <= out.pruned_below_) return std::nullopt;
     if (!first && lo <= prev_hi + 1) return std::nullopt;
     first = false;
@@ -237,7 +310,7 @@ void SeqSet::check_invariants() const {
   Seq prev_hi = pruned_below_;
   bool first = true;
   for (const Interval& iv : intervals_) {
-    RBCAST_ASSERT(iv.lo >= 1 && iv.lo <= iv.hi);
+    RBCAST_ASSERT(iv.lo >= 1 && iv.lo <= iv.hi && iv.hi <= kMaxSeq);
     RBCAST_ASSERT(iv.lo > pruned_below_);
     if (!first) RBCAST_ASSERT_MSG(iv.lo > prev_hi + 1, "intervals must be maximal");
     first = false;

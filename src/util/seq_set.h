@@ -40,6 +40,12 @@ class SeqSet {
     friend bool operator==(const Interval&, const Interval&) = default;
   };
 
+  // Ceiling on any sequence number or prune watermark the set will hold.
+  // Far above any real stream length, but low enough that hi + 1 and the
+  // count()/contiguous_prefix() arithmetic can never wrap — decode()
+  // rejects wire input above it rather than trusting the network.
+  static constexpr Seq kMaxSeq = Seq{1} << 62;
+
   SeqSet() = default;
 
   // Constructs {1..n} — the INFO set of a host that has messages 1..n.
@@ -49,13 +55,16 @@ class SeqSet {
   static SeqSet of(std::initializer_list<Seq> seqs);
 
   // Inserts one sequence number. Returns true if it was newly added.
-  // Precondition: seq >= 1.
+  // Precondition: 1 <= seq <= kMaxSeq.
   bool insert(Seq seq);
 
-  // Inserts every element of [lo, hi]. Precondition: 1 <= lo <= hi.
+  // Inserts every element of [lo, hi] in one interval splice — O(log
+  // intervals + intervals absorbed), independent of hi - lo.
+  // Precondition: 1 <= lo <= hi <= kMaxSeq.
   void insert_range(Seq lo, Seq hi);
 
-  // Union with another set.
+  // Union with another set: a linear two-pointer interval walk,
+  // O(intervals(this) + intervals(other)) regardless of element counts.
   void merge(const SeqSet& other);
 
   [[nodiscard]] bool contains(Seq seq) const;

@@ -548,6 +548,105 @@ TEST(BroadcastHost, LostAttachAcceptRecoversAfterExclusionExpiry) {
   EXPECT_EQ(c.node(1).info().count(), 1u);
 }
 
+TEST(BroadcastHost, GapFillOffersAreNotRepeatedAgainstStaleMap) {
+  Config cfg = fast_config();
+  cfg.gapfill_suppress_period = sim::milliseconds(250);
+  Cluster c(2, cfg);
+  // Periodic tasks are NOT started: rounds run by hand, so nothing but the
+  // calls below generates traffic. The source holds 1..5.
+  for (int k = 1; k <= 5; ++k) c.node(0).broadcast("m" + std::to_string(k));
+
+  // Host 1 reports INFO {1,5}: holes 2..4 below its own maximum, so the
+  // source may fill them (capped offers never exceed the reported max).
+  SeqSet peer;
+  peer.insert(1);
+  peer.insert(5);
+  ProtocolMessage info{InfoMsg{peer, kNoHost}};
+  net::Delivery report{.from = HostId{1},
+                       .to = HostId{0},
+                       .expensive = false,
+                       .payload = std::any(info),
+                       .bytes = 64,
+                       .kind = "info",
+                       .sent_at = 0,
+                       .hops = 1};
+  c.node(0).on_delivery(report);
+
+  auto gapfills = [&] { return c.hub.sent_count("gapfill"); };
+  c.node(0).run_gapfill_far_now();
+  const std::size_t first = gapfills();
+  EXPECT_EQ(first, 3u);  // fills 2, 3, 4
+
+  // Back-to-back round against the unchanged MAP: nothing is re-sent.
+  c.node(0).run_gapfill_far_now();
+  EXPECT_EQ(gapfills(), first);
+
+  // A fresh INFO report that still lacks the offered seqs refutes the
+  // optimistic fold — the fills were evidently lost, so the very next
+  // round re-offers without waiting for the suppress period.
+  c.node(0).on_delivery(report);
+  c.node(0).run_gapfill_far_now();
+  EXPECT_EQ(gapfills(), 2 * first);
+
+  // Suppressed again immediately after...
+  c.node(0).run_gapfill_far_now();
+  EXPECT_EQ(gapfills(), 2 * first);
+
+  // ...until the suppress period lapses with no news from the peer.
+  c.run_for(sim::milliseconds(300));
+  c.node(0).run_gapfill_far_now();
+  EXPECT_EQ(gapfills(), 3 * first);
+}
+
+TEST(BroadcastHost, AttachRetriesAreBoundedUnderTotalPartition) {
+  // Host 11 sits alone behind expensive links (its own cluster). After
+  // convergence its uplink breaks: everything it SENDS is lost, and so is
+  // its parent's traffic — but INFO from the other hosts still reaches it,
+  // so case I keeps proposing fresh out-of-cluster candidates with strictly
+  // greater INFO sets forever. Every attach request it fires times out.
+  // This is the worst case for retry traffic: with unbounded immediate
+  // retries the host would cycle through the candidate list at rate
+  // 1/attach_ack_timeout; the retry burst must cap it near 1/attach_period.
+  constexpr int kHosts = 12;
+  const HostId cut_host{kHosts - 1};
+  Config cfg = fast_config();
+  cfg.attach_period = sim::milliseconds(500);
+  cfg.attach_ack_timeout = sim::milliseconds(50);
+  cfg.attach_retry_burst = 3;
+  cfg.parent_timeout = sim::seconds(1);
+  Cluster c(kHosts, cfg);
+  for (int j = 0; j + 1 < kHosts; ++j) {
+    c.hub.set_expensive(cut_host, HostId{j}, true);
+  }
+  c.start_all();
+  c.node(0).broadcast("m1");
+  c.run_for(sim::seconds(3));  // converge: everyone attached, MAPs full
+  ASSERT_TRUE(c.node(kHosts - 1).parent().valid());
+
+  for (int j = 0; j + 1 < kHosts; ++j) {
+    c.hub.set_drop(cut_host, HostId{j}, true);  // uplink dead
+  }
+  c.hub.set_drop(c.node(kHosts - 1).parent(), cut_host, true);  // parent mute
+  c.node(0).broadcast("m2");  // the others pull ahead: candidates stay valid
+  const sim::TimePoint cut = c.sim.now();
+  const sim::Duration window = sim::seconds(20);
+  c.run_for(window);
+
+  // A hot loop at 1/attach_ack_timeout would emit hundreds of requests in
+  // this window (~11 per exclusion cycle of 2 s ≈ 110+); the burst plus the
+  // periodic timer bound it near window/attach_period.
+  std::size_t requests = 0;
+  for (const auto& s : c.hub.log) {
+    if (s.kind == "attach_req" && s.from == cut_host && s.at >= cut) {
+      ++requests;
+    }
+  }
+  const std::size_t periodic_ceiling =
+      static_cast<std::size_t>(window / cfg.attach_period);
+  EXPECT_GE(requests, 5u);  // it IS still trying
+  EXPECT_LE(requests, periodic_ceiling + cfg.attach_retry_burst + 4);
+}
+
 TEST(BroadcastHost, BroadcastOnNonSourceAborts) {
   Cluster c(2);
   EXPECT_DEATH(c.node(1).broadcast("nope"), "non-source");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace rbcast::sim {
@@ -71,6 +72,54 @@ TEST(EventQueue, PopReturnsScheduledTime) {
   EventQueue q;
   q.schedule(42, [] {});
   EXPECT_EQ(q.pop().time, 42);
+}
+
+TEST(EventQueue, CompactionBoundsBackingStoreUnderChurn) {
+  // The cancel-and-rearm pattern of the protocol's timers must not grow
+  // the backing store without bound: tombstones are compacted away once
+  // they outnumber live entries (above a small floor).
+  EventQueue q;
+  constexpr int kLive = 16;
+  std::vector<EventId> ids;
+  for (int i = 0; i < kLive; ++i) {
+    ids.push_back(q.schedule(1000 + i, [] {}));
+  }
+  for (int round = 0; round < 10000; ++round) {
+    const std::size_t slot = static_cast<std::size_t>(round % kLive);
+    ASSERT_TRUE(q.cancel(ids[slot]));
+    ids[slot] = q.schedule(1000 + round, [] {});
+    EXPECT_EQ(q.size(), static_cast<std::size_t>(kLive));
+    // size - live <= max(live, floor) at all times after maybe_compact.
+    EXPECT_LE(q.backing_size(), 2u * std::max<std::size_t>(kLive, 64));
+  }
+  // Draining still fires exactly the live timers, in time order.
+  int fired = 0;
+  TimePoint last = -1;
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, kLive);
+}
+
+TEST(EventQueue, CompactionPreservesFifoAmongSimultaneousEvents) {
+  // Force a compaction between scheduling same-time events and draining:
+  // the FIFO tie-break (sequence numbers) must survive the heap rebuild.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 64; ++i) {
+    q.schedule(7, [&fired, i] { fired.push_back(i); });
+  }
+  std::vector<EventId> victims;
+  for (int i = 0; i < 200; ++i) victims.push_back(q.schedule(9, [] {}));
+  for (EventId id : victims) q.cancel(id);  // triggers compaction
+  EXPECT_LT(q.backing_size(), 264u);
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

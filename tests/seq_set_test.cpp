@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <random>
 #include <set>
+#include <vector>
 
 namespace rbcast::util {
 namespace {
@@ -303,6 +307,141 @@ TEST(SeqSetCodec, RandomizedRoundTrip) {
     const auto decoded = SeqSet::decode(s.encode());
     ASSERT_TRUE(decoded.has_value());
     ASSERT_EQ(*decoded, s);
+  }
+}
+
+namespace {
+void put64(std::vector<std::uint8_t>& buf, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+}  // namespace
+
+TEST(SeqSetCodec, RejectsWatermarkAboveCeiling) {
+  // Watermark UINT64_MAX would overflow count()/contiguous_prefix()
+  // arithmetic (watermark + interval widths); decode must reject anything
+  // above kMaxSeq rather than construct a set that traps later.
+  std::vector<std::uint8_t> wm_max(8, 0xFF);
+  EXPECT_FALSE(SeqSet::decode(wm_max).has_value());
+
+  std::vector<std::uint8_t> at_ceiling(8, 0);
+  put64(at_ceiling, 0, SeqSet::kMaxSeq);
+  const auto ok = SeqSet::decode(at_ceiling);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->count(), SeqSet::kMaxSeq);  // no wrap
+  EXPECT_EQ(ok->contiguous_prefix(), SeqSet::kMaxSeq);
+
+  std::vector<std::uint8_t> just_above(8, 0);
+  put64(just_above, 0, SeqSet::kMaxSeq + 1);
+  EXPECT_FALSE(SeqSet::decode(just_above).has_value());
+}
+
+TEST(SeqSetCodec, RejectsIntervalAboveCeiling) {
+  std::vector<std::uint8_t> buf(8 + 16, 0);
+  put64(buf, 8, 5);
+  put64(buf, 16, std::numeric_limits<std::uint64_t>::max());  // hi wraps hi+1
+  EXPECT_FALSE(SeqSet::decode(buf).has_value());
+
+  put64(buf, 8, SeqSet::kMaxSeq);
+  put64(buf, 16, SeqSet::kMaxSeq);
+  const auto ok = SeqSet::decode(buf);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->count(), 1u);
+  EXPECT_EQ(ok->max_seq(), SeqSet::kMaxSeq);
+}
+
+// Differential test over the full interval-walk API: insert_range, merge,
+// prune_below and missing_from_capped against a materialized std::set
+// oracle (pruned prefixes are materialized into the oracle, matching the
+// "pruned elements still count as contained" semantics), with an
+// encode->decode round trip after every verification pass.
+TEST(SeqSet, RandomizedDifferentialRichOps) {
+  constexpr Seq kUniverse = 400;
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    SeqSet ours, aux;
+    std::set<Seq> ref_ours, ref_aux;
+
+    const auto materialize_prune = [](std::set<Seq>& ref, Seq watermark) {
+      for (Seq q = 1; q <= watermark; ++q) ref.insert(q);
+    };
+
+    for (int op = 0; op < 250; ++op) {
+      switch (rng() % 5) {
+        case 0: {  // single insert (into either set)
+          const Seq q = 1 + rng() % kUniverse;
+          if (rng() % 2 == 0) {
+            ASSERT_EQ(ours.insert(q), ref_ours.insert(q).second);
+          } else {
+            ASSERT_EQ(aux.insert(q), ref_aux.insert(q).second);
+          }
+          break;
+        }
+        case 1: {  // block insert
+          const Seq lo = 1 + rng() % kUniverse;
+          const Seq hi = std::min<Seq>(kUniverse, lo + rng() % 30);
+          ours.insert_range(lo, hi);
+          for (Seq q = lo; q <= hi; ++q) ref_ours.insert(q);
+          break;
+        }
+        case 2: {  // prune either set (merge must propagate aux's watermark)
+          const Seq w = 1 + rng() % (kUniverse / 4);
+          if (rng() % 2 == 0) {
+            ours.prune_below(w);
+            materialize_prune(ref_ours, w);
+          } else {
+            aux.prune_below(w);
+            materialize_prune(ref_aux, w);
+          }
+          break;
+        }
+        case 3: {  // merge aux into ours (watermark propagates)
+          ours.merge(aux);
+          ref_ours.insert(ref_aux.begin(), ref_aux.end());
+          break;
+        }
+        case 4: {  // capped set difference vs the oracle
+          const Seq cap = 1 + rng() % kUniverse;
+          const std::size_t limit = 1 + rng() % 20;
+          // Our own pruned prefix is never offered (the bodies are gone and
+          // a pruned seq is by definition already at every host), so the
+          // oracle difference starts above our watermark.
+          std::vector<Seq> expected;
+          for (Seq q = ours.prune_watermark() + 1;
+               q <= cap && expected.size() < limit; ++q) {
+            if (ref_ours.contains(q) && !ref_aux.contains(q)) {
+              expected.push_back(q);
+            }
+          }
+          ASSERT_EQ(ours.missing_from_capped(aux, cap, limit), expected);
+          break;
+        }
+      }
+    }
+
+    // Full-state agreement.
+    ASSERT_EQ(ours.count(), ref_ours.size());
+    ASSERT_EQ(ours.max_seq(), ref_ours.empty() ? 0u : *ref_ours.rbegin());
+    for (Seq q = 1; q <= kUniverse + 1; ++q) {
+      ASSERT_EQ(ours.contains(q), ref_ours.contains(q)) << "q=" << q;
+    }
+    ASSERT_EQ(ours.missing_from(aux),
+              [&] {
+                std::vector<Seq> d;
+                for (Seq q : ref_ours) {
+                  if (q > ours.prune_watermark() && !ref_aux.contains(q)) {
+                    d.push_back(q);
+                  }
+                }
+                return d;
+              }());
+
+    // Wire round trip preserves the exact state.
+    const auto decoded = SeqSet::decode(ours.encode());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, ours);
   }
 }
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 2.0]
+                     [--min-time-ns 50]
+
+Compares per-iteration real_time of every benchmark present in both files
+(after normalizing time units). Exits 1 if any benchmark regressed by more
+than --threshold x, or if a baseline benchmark disappeared (renaming a
+benchmark without updating the committed baseline would otherwise silently
+drop it from the gate).
+
+Benchmarks faster than --min-time-ns in the baseline are reported but never
+fail the gate: at a few tens of nanoseconds per iteration, scheduler noise
+on shared CI runners swamps any real signal.
+
+The committed baseline (BENCH_micro.json at the repo root) is regenerated
+with:
+    ./build/bench/bench_micro --benchmark_format=json > BENCH_micro.json
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for every non-aggregate benchmark."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            raise ValueError(f"{path}: unknown time_unit in {b['name']!r}")
+        out[b["name"]] = float(b["real_time"]) * unit
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed current/baseline ratio (default 2.0)")
+    ap.add_argument("--min-time-ns", type=float, default=50.0,
+                    help="baseline times below this only warn, never fail")
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    failures = []
+
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(set(baseline) & set(current)):
+        base_ns, cur_ns = baseline[name], current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = ""
+        if ratio > args.threshold:
+            if base_ns < args.min_time_ns:
+                verdict = "  (noisy: below min-time floor, not gating)"
+            else:
+                verdict = "  REGRESSION"
+                failures.append((name, ratio))
+        print(f"{name:<{width}}  {base_ns:>10.1f}ns  {cur_ns:>10.1f}ns  "
+              f"{ratio:5.2f}x{verdict}")
+
+    for name in new:
+        print(f"note: new benchmark (no baseline): {name}")
+
+    ok = True
+    if missing:
+        ok = False
+        for name in missing:
+            print(f"error: baseline benchmark missing from current run: "
+                  f"{name}", file=sys.stderr)
+        print("(renamed or removed a benchmark? regenerate BENCH_micro.json)",
+              file=sys.stderr)
+    if failures:
+        ok = False
+        for name, ratio in failures:
+            print(f"error: {name} regressed {ratio:.2f}x "
+                  f"(threshold {args.threshold}x)", file=sys.stderr)
+    if ok:
+        print(f"OK: {len(set(baseline) & set(current))} benchmarks within "
+              f"{args.threshold}x of baseline")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
