@@ -50,7 +50,7 @@ Seq BasicSource::broadcast(std::string body) {
     waiting.insert(h);
     endpoint_.send(h, std::any(BasicMessage(BasicData{seq, it->second})),
                    wire_size(BasicMessage(BasicData{seq, it->second})),
-                   "data");
+                   "data", net::make_trace_id(endpoint_.self(), seq));
     ++counters_.first_sends;
   }
   if (waiting.empty()) {  // degenerate single-host network
@@ -94,7 +94,8 @@ void BasicSource::retransmit_round() {
       if (budget == 0) return;
       --budget;
       BasicMessage m{BasicData{seq, body}};
-      endpoint_.send(h, std::any(m), wire_size(m), "data_retx");
+      endpoint_.send(h, std::any(m), wire_size(m), "data_retx",
+                     net::make_trace_id(endpoint_.self(), seq));
       ++counters_.retransmissions;
     }
   }

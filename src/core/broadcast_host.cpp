@@ -148,7 +148,10 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
   const bool fresh = state_.record_message(seq, body);
   RBCAST_ASSERT(fresh);
   ++counters_.deliveries;
-  if (observer_ != nullptr) observer_->on_delivered(self(), seq);
+  if (observer_ != nullptr) {
+    observer_->on_delivered(self(), seq);
+    if (!was_new_max) observer_->on_gapfill_accepted(self(), from, seq);
+  }
   if (app_deliver_) app_deliver_(seq, body);
 
   if (was_new_max) {
@@ -172,6 +175,7 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
       send_message(n, make_data(seq, body, /*gap_fill=*/true));
       note_offered(n, seq);
       ++counters_.gapfills_sent;
+      if (observer_ != nullptr) observer_->on_gapfill_relayed(self(), n, seq);
     }
   }
 }
@@ -447,7 +451,13 @@ void BroadcastHost::maintenance_round() {
 void BroadcastHost::send_message(HostId to, ProtocolMessage m) {
   const std::size_t bytes = wire_size(m);
   const char* kind = kind_of(m);
-  endpoint_.send(to, std::any(std::move(m)), bytes, kind);
+  // Data messages (first sends, forwards and gap fills alike) carry the
+  // causal trace id of their broadcast; control traffic stays untraced.
+  net::TraceId trace_id = 0;
+  if (const auto* data = std::get_if<DataMsg>(&m)) {
+    trace_id = net::make_trace_id(source_, data->seq);
+  }
+  endpoint_.send(to, std::any(std::move(m)), bytes, kind, trace_id);
 }
 
 DataMsg BroadcastHost::make_data(Seq seq, const std::string& body,
@@ -465,6 +475,7 @@ void BroadcastHost::send_gapfill(HostId to, Seq seq) {
   send_message(to, make_data(seq, *body, /*gap_fill=*/true));
   note_offered(to, seq);
   ++counters_.gapfills_sent;
+  if (observer_ != nullptr) observer_->on_gapfill_offered(self(), to, seq);
 }
 
 void BroadcastHost::note_offered(HostId to, Seq seq) {

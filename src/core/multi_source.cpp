@@ -7,13 +7,14 @@
 namespace rbcast::core {
 
 void MultiSourceNode::MuxEndpoint::send(HostId to, std::any payload,
-                                        std::size_t bytes, std::string kind) {
+                                        std::size_t bytes, std::string kind,
+                                        net::TraceId trace_id) {
   auto* inner = std::any_cast<ProtocolMessage>(&payload);
   RBCAST_ASSERT_MSG(inner != nullptr,
                     "mux endpoint expects protocol messages");
   // +4 bytes: the stream-source demux field in the packet header.
   real_.send(to, std::any(MuxMessage{stream_source_, std::move(*inner)}),
-             bytes + 4, std::move(kind));
+             bytes + 4, std::move(kind), trace_id);
 }
 
 MultiSourceNode::MultiSourceNode(sim::Simulator& simulator,

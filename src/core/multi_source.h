@@ -85,7 +85,7 @@ class MultiSourceNode {
         : real_(real), stream_source_(stream_source) {}
     [[nodiscard]] HostId self() const override { return real_.self(); }
     void send(HostId to, std::any payload, std::size_t bytes,
-              std::string kind) override;
+              std::string kind, net::TraceId trace_id) override;
 
    private:
     net::HostEndpoint& real_;

@@ -36,6 +36,18 @@ class ProtocolObserver {
                                    util::Seq /*seq*/) {}
   // First receipt of message `seq` at `host`.
   virtual void on_delivered(HostId /*host*/, util::Seq /*seq*/) {}
+
+  // --- gap filling (Section 4.4) -----------------------------------------
+  // `host` offered message `seq` to `to` as a gap fill (periodic rounds
+  // and attach-time back-fill — every planner-driven redelivery).
+  virtual void on_gapfill_offered(HostId /*host*/, HostId /*to*/,
+                                  util::Seq /*seq*/) {}
+  // `host` accepted `seq` below its current maximum (a gap actually closed).
+  virtual void on_gapfill_accepted(HostId /*host*/, HostId /*from*/,
+                                   util::Seq /*seq*/) {}
+  // `host` forwarded a just-accepted gap fill onward to neighbor `to`.
+  virtual void on_gapfill_relayed(HostId /*host*/, HostId /*to*/,
+                                  util::Seq /*seq*/) {}
 };
 
 }  // namespace rbcast::core

@@ -108,6 +108,91 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
 
 Experiment::~Experiment() = default;
 
+const char* Experiment::protocol_name() const {
+  switch (options_.protocol_kind) {
+    case ProtocolKind::kPaper:
+      return "paper";
+    case ProtocolKind::kBasic:
+      return "basic";
+    case ProtocolKind::kGossip:
+      return "gossip";
+  }
+  return "?";
+}
+
+trace::TraceRecord Experiment::manifest() const {
+  return trace::run_manifest(options_.seed, topology_.describe(),
+                             protocol_name(),
+                             trace::describe_config(options_.protocol));
+}
+
+void Experiment::install_observers() {
+  if (sink_ == nullptr && sampler_ == nullptr) {
+    network_->set_observer(metrics_.get());
+    return;
+  }
+  observer_fanout_ = net::NetObserverFanout{};
+  observer_fanout_.add(metrics_.get());
+  observer_fanout_.add(net_tap_.get());
+  observer_fanout_.add(sampler_.get());
+  network_->set_observer(&observer_fanout_);
+}
+
+void Experiment::set_trace_sink(trace::TraceSink* sink) {
+  sink_ = sink;
+  events_->set_sink(sink);
+  net_tap_ = sink != nullptr
+                 ? std::make_unique<trace::NetTap>(simulator_, *sink)
+                 : nullptr;
+  install_observers();
+  if (sink_ != nullptr) sink_->record(manifest());
+}
+
+void Experiment::enable_metric_sampling(sim::Duration period) {
+  RBCAST_CHECK_ARG(sink_ != nullptr,
+                   "enable_metric_sampling needs a trace sink installed");
+  trace::MetricSampler::TreeShapeFn shape_fn;
+  if (options_.protocol_kind == ProtocolKind::kPaper) {
+    shape_fn = [this] { return tree_shape(); };
+  }
+  sampler_ = std::make_unique<trace::MetricSampler>(
+      simulator_, *metrics_, *sink_, period, std::move(shape_fn));
+  install_observers();
+  sampler_->start();
+}
+
+trace::MetricSampler::TreeShape Experiment::tree_shape() const {
+  trace::MetricSampler::TreeShape shape;
+  const std::vector<int> cluster = network_->host_cluster_index();
+  const std::size_t n = paper_hosts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::BroadcastHost& host = *paper_hosts_[i];
+    const HostId parent = host.parent();
+    if (host.is_source()) continue;
+    if (!parent.valid()) {
+      ++shape.orphans;
+      ++shape.leaders;
+      continue;
+    }
+    if (cluster[i] != cluster[static_cast<std::size_t>(parent.value)]) {
+      ++shape.leaders;
+    }
+    // Parent-chain length in edges, capped at n so a transient cycle
+    // cannot loop forever (cycles read as a depth-n anomaly spike).
+    int depth = 0;
+    HostId cursor{static_cast<HostId::value_type>(i)};
+    while (depth < static_cast<int>(n)) {
+      const HostId up =
+          paper_hosts_[static_cast<std::size_t>(cursor.value)]->parent();
+      if (!up.valid()) break;
+      ++depth;
+      cursor = up;
+    }
+    shape.depth = std::max(shape.depth, depth);
+  }
+  return shape;
+}
+
 void Experiment::start() {
   if (options_.protocol_kind == ProtocolKind::kPaper) {
     for (auto& host : paper_hosts_) host->start();

@@ -21,7 +21,10 @@
 #include "topo/topology.h"
 #include "trace/convergence.h"
 #include "trace/event_log.h"
+#include "trace/metric_sampler.h"
 #include "trace/metrics.h"
+#include "trace/net_tap.h"
+#include "trace/trace_sink.h"
 #include "util/rng.h"
 
 namespace rbcast::harness {
@@ -58,6 +61,27 @@ class Experiment {
 
   // Arms all hosts' periodic activities. Call once before running.
   void start();
+
+  // --- tracing -------------------------------------------------------------
+
+  // Streams the run into `sink` (nullptr to stop): the run manifest is
+  // emitted immediately, then every protocol event (EventLog mirror) and
+  // every host-level network event (trace::NetTap) as they happen.
+  // Install before start() so the trace covers the whole run.
+  void set_trace_sink(trace::TraceSink* sink);
+
+  // Starts periodic metric sampling (counter deltas, backlog, latency
+  // distribution, tree shape) into the installed sink, every `period`.
+  // Requires a sink; call after set_trace_sink and before running.
+  void enable_metric_sampling(sim::Duration period);
+
+  // The manifest record describing this run (seed, topology, protocol,
+  // config, build) — what set_trace_sink writes first, also useful for
+  // printing the reproduction line to stdout.
+  [[nodiscard]] trace::TraceRecord manifest() const;
+
+  // The sampler, when enabled (sample_now() at run end closes the series).
+  [[nodiscard]] trace::MetricSampler* sampler() { return sampler_.get(); }
 
   // --- workload -----------------------------------------------------------
 
@@ -128,6 +152,17 @@ class Experiment {
   std::unique_ptr<trace::Metrics> metrics_;
   std::unique_ptr<trace::EventLog> events_;
   std::unique_ptr<net::FaultPlan> faults_;
+
+  // Tracing (optional). The fanout lets metrics, the net tap and the
+  // sampler observe one network; rebuilt whenever the sink changes.
+  trace::TraceSink* sink_{nullptr};
+  net::NetObserverFanout observer_fanout_;
+  std::unique_ptr<trace::NetTap> net_tap_;
+  std::unique_ptr<trace::MetricSampler> sampler_;
+
+  [[nodiscard]] trace::MetricSampler::TreeShape tree_shape() const;
+  [[nodiscard]] const char* protocol_name() const;
+  void install_observers();
 
   std::vector<std::unique_ptr<core::BroadcastHost>> paper_hosts_;
   std::vector<std::unique_ptr<core::OrderedDeliveryAdapter>> ordered_;

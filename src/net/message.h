@@ -11,11 +11,35 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/time.h"
 #include "util/ids.h"
 
 namespace rbcast::net {
+
+// Causal trace id: tags every copy, relay and gap-fill of one broadcast
+// message so its full lineage can be reconstructed from a trace. Packed
+// as (source host + 1) in the high bits and the sequence number in the
+// low 40; 0 means "untraced" (control traffic). Purely observational —
+// the protocol itself never reads it.
+using TraceId = std::uint64_t;
+
+inline constexpr int kTraceSeqBits = 40;
+
+[[nodiscard]] constexpr TraceId make_trace_id(HostId source,
+                                              std::uint64_t seq) {
+  return (static_cast<TraceId>(source.value + 1) << kTraceSeqBits) |
+         (seq & ((TraceId{1} << kTraceSeqBits) - 1));
+}
+
+[[nodiscard]] constexpr std::uint64_t trace_seq(TraceId id) {
+  return id & ((TraceId{1} << kTraceSeqBits) - 1);
+}
+
+[[nodiscard]] constexpr HostId trace_source(TraceId id) {
+  return HostId{static_cast<HostId::value_type>(id >> kTraceSeqBits) - 1};
+}
 
 // A message as seen by the receiving host.
 struct Delivery {
@@ -31,6 +55,8 @@ struct Delivery {
   std::string kind;
   sim::TimePoint sent_at{0};
   int hops{0};
+  // Causal trace id chosen by the sender; 0 when untraced.
+  TraceId trace_id{0};
 };
 
 using DeliveryFn = std::function<void(const Delivery&)>;
@@ -79,6 +105,36 @@ class NetObserver {
                                 sim::Duration /*backlog*/) {}
 };
 
+// Broadcasts every network event to several observers in registration
+// order; lets the metrics registry and a trace tap watch the same network.
+// Observers are borrowed and must outlive the fanout's installation.
+class NetObserverFanout final : public NetObserver {
+ public:
+  void add(NetObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void on_host_send(const Delivery& d) override {
+    for (NetObserver* o : observers_) o->on_host_send(d);
+  }
+  void on_deliver(const Delivery& d) override {
+    for (NetObserver* o : observers_) o->on_deliver(d);
+  }
+  void on_drop(const Delivery& d, DropReason reason) override {
+    for (NetObserver* o : observers_) o->on_drop(d, reason);
+  }
+  void on_link_transmit(LinkId link, const Delivery& d) override {
+    for (NetObserver* o : observers_) o->on_link_transmit(link, d);
+  }
+  void on_queue_backlog(ServerId server, LinkId link,
+                        sim::Duration backlog) override {
+    for (NetObserver* o : observers_) o->on_queue_backlog(server, link, backlog);
+  }
+
+ private:
+  std::vector<NetObserver*> observers_;
+};
+
 // The sending interface a protocol host holds. Production hosts get the
 // Network-backed implementation; protocol unit tests plug in a scripted
 // fake (tests/support/fake_network.h).
@@ -88,9 +144,11 @@ class HostEndpoint {
   [[nodiscard]] virtual HostId self() const = 0;
   // Requests unicast delivery of `payload` to host `to`. Fire-and-forget:
   // there is no error result, because the paper's network never reports
-  // loss or failure to the application.
+  // loss or failure to the application. `trace_id` (0 = untraced) is
+  // carried on the Delivery for causal tracing; it never affects routing
+  // or protocol behavior.
   virtual void send(HostId to, std::any payload, std::size_t bytes,
-                    std::string kind) = 0;
+                    std::string kind, TraceId trace_id = 0) = 0;
 };
 
 }  // namespace rbcast::net

@@ -14,8 +14,9 @@ class Network::Endpoint final : public HostEndpoint {
   [[nodiscard]] HostId self() const override { return self_; }
 
   void send(HostId to, std::any payload, std::size_t bytes,
-            std::string kind) override {
-    network_.send(self_, to, std::move(payload), bytes, std::move(kind));
+            std::string kind, TraceId trace_id) override {
+    network_.send(self_, to, std::move(payload), bytes, std::move(kind),
+                  trace_id);
   }
 
  private:
@@ -101,7 +102,7 @@ void Network::schedule_on_link(LinkId link, sim::Duration delay,
 }
 
 void Network::send(HostId from, HostId to, std::any payload,
-                   std::size_t bytes, std::string kind) {
+                   std::size_t bytes, std::string kind, TraceId trace_id) {
   RBCAST_CHECK_ARG(from.valid() && to.valid() && from != to,
                    "send: bad endpoints");
   Packet p;
@@ -112,7 +113,8 @@ void Network::send(HostId from, HostId to, std::any payload,
                  .bytes = bytes,
                  .kind = std::move(kind),
                  .sent_at = simulator_.now(),
-                 .hops = 0};
+                 .hops = 0,
+                 .trace_id = trace_id};
   p.ttl = config_.ttl;
 
   if (observer_ != nullptr) observer_->on_host_send(p.d);

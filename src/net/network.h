@@ -58,7 +58,7 @@ class Network {
 
   // Requests unicast delivery (what endpoint() forwards to).
   void send(HostId from, HostId to, std::any payload, std::size_t bytes,
-            std::string kind);
+            std::string kind, TraceId trace_id = 0);
 
   // --- fault control (used by FaultPlan) -----------------------------------
 

@@ -10,7 +10,7 @@
 //   rbcast::topo    — network topologies (clusters, paper figures)
 //   rbcast::net     — the nonprogrammable-server network substrate
 //   rbcast::core    — the paper's protocol + the basic baseline
-//   rbcast::trace   — metrics and convergence probes
+//   rbcast::trace   — metrics, convergence probes, trace export/analysis
 //   rbcast::harness — one-call experiment wiring
 //
 // Quickstart: see examples/quickstart.cpp.
@@ -44,7 +44,11 @@
 #include "trace/convergence.h"
 #include "trace/dot_export.h"
 #include "trace/event_log.h"
+#include "trace/metric_sampler.h"
 #include "trace/metrics.h"
+#include "trace/net_tap.h"
+#include "trace/trace_reader.h"
+#include "trace/trace_sink.h"
 #include "util/ids.h"
 #include "util/logging.h"
 #include "util/rng.h"

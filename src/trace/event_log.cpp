@@ -24,6 +24,12 @@ const char* to_string(EventType type) {
       return "new-max-rejected";
     case EventType::kDelivered:
       return "delivered";
+    case EventType::kGapFillOffered:
+      return "gapfill-offered";
+    case EventType::kGapFillAccepted:
+      return "gapfill-accepted";
+    case EventType::kGapFillRelayed:
+      return "gapfill-relayed";
   }
   return "?";
 }
@@ -42,6 +48,18 @@ void EventLog::push(EventType type, HostId host, HostId peer, util::Seq seq,
                     std::string detail) {
   events_.push_back(Event{simulator_.now(), type, host, peer, seq,
                           std::move(detail)});
+  if (sink_ != nullptr) {
+    const Event& e = events_.back();
+    TraceRecord r;
+    r.at = e.at;
+    r.category = "protocol";
+    r.name = to_string(type);
+    r.host = host;
+    if (e.peer.valid()) r.field("peer", std::int64_t{e.peer.value});
+    if (e.seq != 0) r.field("seq", std::uint64_t{e.seq});
+    if (!e.detail.empty()) r.field("detail", e.detail);
+    sink_->record(r);
+  }
 }
 
 void EventLog::on_attach_requested(HostId host, HostId candidate,
@@ -72,6 +90,18 @@ void EventLog::on_new_max_rejected(HostId host, HostId from, util::Seq seq) {
 
 void EventLog::on_delivered(HostId host, util::Seq seq) {
   push(EventType::kDelivered, host, kNoHost, seq, {});
+}
+
+void EventLog::on_gapfill_offered(HostId host, HostId to, util::Seq seq) {
+  push(EventType::kGapFillOffered, host, to, seq, {});
+}
+
+void EventLog::on_gapfill_accepted(HostId host, HostId from, util::Seq seq) {
+  push(EventType::kGapFillAccepted, host, from, seq, {});
+}
+
+void EventLog::on_gapfill_relayed(HostId host, HostId to, util::Seq seq) {
+  push(EventType::kGapFillRelayed, host, to, seq, {});
 }
 
 std::size_t EventLog::count(EventType type) const {

@@ -12,6 +12,7 @@
 
 #include "core/protocol_observer.h"
 #include "sim/simulator.h"
+#include "trace/trace_sink.h"
 
 namespace rbcast::trace {
 
@@ -24,6 +25,12 @@ enum class EventType {
   kAttachTimeout,
   kNewMaxRejected,
   kDelivered,
+  // Gap filling (Section 4.4) — makes the PR-3 suppression logic
+  // observable: offers are planner-driven redeliveries, accepts are gaps
+  // actually closed, relays are accepted fills forwarded onward.
+  kGapFillOffered,
+  kGapFillAccepted,
+  kGapFillRelayed,
 };
 
 [[nodiscard]] const char* to_string(EventType type);
@@ -52,6 +59,9 @@ class EventLog final : public core::ProtocolObserver {
   void on_attach_timeout(HostId host, HostId candidate) override;
   void on_new_max_rejected(HostId host, HostId from, util::Seq seq) override;
   void on_delivered(HostId host, util::Seq seq) override;
+  void on_gapfill_offered(HostId host, HostId to, util::Seq seq) override;
+  void on_gapfill_accepted(HostId host, HostId from, util::Seq seq) override;
+  void on_gapfill_relayed(HostId host, HostId to, util::Seq seq) override;
 
   // --- queries -------------------------------------------------------------
 
@@ -74,12 +84,18 @@ class EventLog final : public core::ProtocolObserver {
 
   void clear() { events_.clear(); }
 
+  // Mirrors every recorded event to `sink` as a "protocol" TraceRecord
+  // (nullptr to stop). Purely additive: the in-memory log, queries and
+  // digest() are unchanged by mirroring.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
  private:
   void push(EventType type, HostId host, HostId peer, util::Seq seq,
             std::string detail);
 
   sim::Simulator& simulator_;
   std::vector<Event> events_;
+  TraceSink* sink_{nullptr};
 };
 
 }  // namespace rbcast::trace

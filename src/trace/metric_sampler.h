@@ -1,0 +1,90 @@
+// MetricSampler — periodic metric time series for a running experiment.
+//
+// Experiments previously reported end-of-run totals only; the sampler
+// turns the same sources into curves over virtual time, emitted as
+// "metric" TraceRecords every `period`:
+//
+//  * "counters"  — per-counter deltas since the previous sample (only
+//    counters that moved), so rates are directly visible;
+//  * "backlog"   — the most recent serialization backlog observed per
+//    server (seconds), via its own NetObserver hook (install through a
+//    net::NetObserverFanout next to trace::Metrics);
+//  * "latency"   — delivery-latency distribution so far: count, mean,
+//    p50/p95/p99 (exact, from trace::Metrics samples) plus cumulative
+//    util::Histogram bucket counts (le_<bound> fields);
+//  * "tree"      — protocol tree shape (depth, cluster-leader count,
+//    orphan count) when a TreeShapeFn is supplied (paper protocol only).
+//
+// Deterministic by construction: samples fire on the virtual clock and
+// read only simulation state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "trace/metrics.h"
+#include "trace/trace_sink.h"
+#include "util/stats.h"
+
+namespace rbcast::trace {
+
+class MetricSampler final : public net::NetObserver {
+ public:
+  struct TreeShape {
+    int depth{0};     // longest parent chain, in hops
+    int leaders{0};   // hosts whose parent is NIL or in another cluster
+    int orphans{0};   // non-source hosts with no parent
+  };
+  using TreeShapeFn = std::function<TreeShape()>;
+
+  // `metrics` and `sink` are borrowed and must outlive the sampler.
+  MetricSampler(sim::Simulator& simulator, Metrics& metrics, TraceSink& sink,
+                sim::Duration period, TreeShapeFn tree_shape = {});
+  ~MetricSampler();
+
+  MetricSampler(const MetricSampler&) = delete;
+  MetricSampler& operator=(const MetricSampler&) = delete;
+
+  // Arms the periodic task; the first sample fires one period from now.
+  void start();
+  void stop();
+
+  // Takes one sample immediately (the harness calls this at run end so
+  // the series always covers the full run).
+  void sample_now();
+
+  [[nodiscard]] sim::Duration period() const { return period_; }
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+  // --- NetObserver (latest-backlog tracking) -----------------------------
+  void on_queue_backlog(ServerId server, LinkId link,
+                        sim::Duration backlog) override;
+
+ private:
+  void emit_counters();
+  void emit_backlog();
+  void emit_latency();
+  void emit_tree();
+
+  sim::Simulator& simulator_;
+  Metrics& metrics_;
+  TraceSink& sink_;
+  sim::Duration period_;
+  TreeShapeFn tree_shape_;
+
+  // Ordered: sample emission iterates these and field order must be
+  // stable across runs (byte-identical trace replay).
+  std::map<std::string, std::uint64_t> last_counters_;
+  std::map<ServerId, sim::Duration> latest_backlog_;
+  util::Histogram latency_histogram_;
+  std::uint64_t samples_{0};
+
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace rbcast::trace

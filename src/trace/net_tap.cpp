@@ -1,0 +1,46 @@
+#include "trace/net_tap.h"
+
+namespace rbcast::trace {
+
+namespace {
+
+TraceRecord base(sim::TimePoint at, const char* name, HostId track,
+                 const net::Delivery& d) {
+  TraceRecord r;
+  r.at = at;
+  r.category = "net";
+  r.name = name;
+  r.host = track;
+  r.field("kind", d.kind).field("bytes", std::uint64_t{d.bytes});
+  if (d.trace_id != 0) {
+    r.field("trace_id", d.trace_id)
+        .field("seq", net::trace_seq(d.trace_id));
+  }
+  return r;
+}
+
+}  // namespace
+
+void NetTap::on_host_send(const net::Delivery& d) {
+  TraceRecord r = base(simulator_.now(), "host_send", d.from, d);
+  r.field("to", std::int64_t{d.to.value});
+  sink_.record(r);
+}
+
+void NetTap::on_deliver(const net::Delivery& d) {
+  TraceRecord r = base(simulator_.now(), "deliver", d.to, d);
+  r.field("from", std::int64_t{d.from.value})
+      .field("expensive", d.expensive)
+      .field("hops", std::int64_t{d.hops})
+      .field("flight_us", std::int64_t{simulator_.now() - d.sent_at});
+  sink_.record(r);
+}
+
+void NetTap::on_drop(const net::Delivery& d, net::DropReason reason) {
+  TraceRecord r = base(simulator_.now(), "drop", d.to, d);
+  r.field("from", std::int64_t{d.from.value})
+      .field("reason", std::string(net::to_string(reason)));
+  sink_.record(r);
+}
+
+}  // namespace rbcast::trace

@@ -1,0 +1,35 @@
+// NetTap — streams network events into a TraceSink.
+//
+// The passive sibling of trace::Metrics: where Metrics aggregates network
+// events into counters, the tap exports each host-level event (send,
+// delivery, drop) as a structured TraceRecord, carrying the causal trace
+// id so rbcast_trace --lineage can reconstruct the full relay and
+// gap-fill path of one broadcast message. Both observe the same network
+// through a net::NetObserverFanout.
+//
+// Per-link transmissions are deliberately not exported: on a large
+// topology they dominate trace volume while the host-level record
+// already names every relay hop the protocol took.
+#pragma once
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "trace/trace_sink.h"
+
+namespace rbcast::trace {
+
+class NetTap final : public net::NetObserver {
+ public:
+  NetTap(sim::Simulator& simulator, TraceSink& sink)
+      : simulator_(simulator), sink_(sink) {}
+
+  void on_host_send(const net::Delivery& d) override;
+  void on_deliver(const net::Delivery& d) override;
+  void on_drop(const net::Delivery& d, net::DropReason reason) override;
+
+ private:
+  sim::Simulator& simulator_;
+  TraceSink& sink_;
+};
+
+}  // namespace rbcast::trace

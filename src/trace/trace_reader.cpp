@@ -1,0 +1,611 @@
+#include "trace/trace_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace rbcast::trace {
+
+namespace {
+
+// Minimal recursive-descent JSON scanner. Two clients: the JSONL record
+// parser (flat objects, typed leaves only) and the structural validator
+// (arbitrary nesting, value shape ignored).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return i_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : s_[i_]; }
+  char take() { return eof() ? '\0' : s_[i_++]; }
+
+  bool expect(char c) {
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(i_, n, word) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return i_; }
+
+ private:
+  const std::string& s_;
+  std::size_t i_{0};
+};
+
+void append_utf8(std::string* out, unsigned cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool parse_string(Cursor& c, std::string* out, std::string* error) {
+  if (!c.expect('"')) {
+    *error = "expected string";
+    return false;
+  }
+  out->clear();
+  while (true) {
+    if (c.eof()) {
+      *error = "unterminated string";
+      return false;
+    }
+    const char ch = c.take();
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    const char esc = c.take();
+    switch (esc) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case '/':
+        out->push_back('/');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 'b':
+        out->push_back('\b');
+        break;
+      case 'f':
+        out->push_back('\f');
+        break;
+      case 'u': {
+        unsigned cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = c.take();
+          if (!std::isxdigit(static_cast<unsigned char>(h))) {
+            *error = "bad \\u escape";
+            return false;
+          }
+          cp = cp * 16 + static_cast<unsigned>(
+                             std::isdigit(static_cast<unsigned char>(h))
+                                 ? h - '0'
+                                 : std::tolower(h) - 'a' + 10);
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default:
+        *error = "bad escape";
+        return false;
+    }
+  }
+}
+
+bool parse_number(Cursor& c, FieldValue* out, std::string* error) {
+  std::string digits;
+  bool is_double = false;
+  if (c.peek() == '-') digits.push_back(c.take());
+  if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    *error = "expected number";
+    return false;
+  }
+  while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    digits.push_back(c.take());
+  }
+  const std::size_t int_digits = digits.size() - (digits[0] == '-' ? 1 : 0);
+  if (int_digits > 1 && digits[digits.size() - int_digits] == '0') {
+    *error = "leading zero";
+    return false;
+  }
+  if (c.peek() == '.') {
+    is_double = true;
+    digits.push_back(c.take());
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      *error = "bad fraction";
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      digits.push_back(c.take());
+    }
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    is_double = true;
+    digits.push_back(c.take());
+    if (c.peek() == '+' || c.peek() == '-') digits.push_back(c.take());
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      *error = "bad exponent";
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      digits.push_back(c.take());
+    }
+  }
+  try {
+    if (is_double) {
+      *out = std::stod(digits);
+    } else if (digits[0] == '-') {
+      *out = static_cast<std::int64_t>(std::stoll(digits));
+    } else {
+      *out = static_cast<std::uint64_t>(std::stoull(digits));
+    }
+  } catch (const std::exception&) {
+    *error = "number out of range";
+    return false;
+  }
+  return true;
+}
+
+// A scalar JSON value (what the JSONL schema allows as field values).
+bool parse_scalar(Cursor& c, FieldValue* out, std::string* error) {
+  c.skip_ws();
+  const char ch = c.peek();
+  if (ch == '"') {
+    std::string s;
+    if (!parse_string(c, &s, error)) return false;
+    *out = std::move(s);
+    return true;
+  }
+  if (ch == 't') {
+    if (!c.literal("true")) {
+      *error = "bad literal";
+      return false;
+    }
+    *out = true;
+    return true;
+  }
+  if (ch == 'f') {
+    if (!c.literal("false")) {
+      *error = "bad literal";
+      return false;
+    }
+    *out = false;
+    return true;
+  }
+  if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+    return parse_number(c, out, error);
+  }
+  *error = "unsupported value (JSONL fields are scalars)";
+  return false;
+}
+
+// Arbitrary JSON value, structure only (validator). Depth-capped so a
+// hostile file cannot blow the stack.
+bool skip_value(Cursor& c, int depth, std::string* error) {
+  if (depth > 64) {
+    *error = "nesting too deep";
+    return false;
+  }
+  c.skip_ws();
+  const char ch = c.peek();
+  if (ch == '{') {
+    c.take();
+    c.skip_ws();
+    if (c.expect('}')) return true;
+    while (true) {
+      c.skip_ws();
+      std::string key;
+      if (!parse_string(c, &key, error)) return false;
+      c.skip_ws();
+      if (!c.expect(':')) {
+        *error = "expected ':'";
+        return false;
+      }
+      if (!skip_value(c, depth + 1, error)) return false;
+      c.skip_ws();
+      if (c.expect(',')) continue;
+      if (c.expect('}')) return true;
+      *error = "expected ',' or '}'";
+      return false;
+    }
+  }
+  if (ch == '[') {
+    c.take();
+    c.skip_ws();
+    if (c.expect(']')) return true;
+    while (true) {
+      if (!skip_value(c, depth + 1, error)) return false;
+      c.skip_ws();
+      if (c.expect(',')) continue;
+      if (c.expect(']')) return true;
+      *error = "expected ',' or ']'";
+      return false;
+    }
+  }
+  if (ch == 'n') {
+    if (!c.literal("null")) {
+      *error = "bad literal";
+      return false;
+    }
+    return true;
+  }
+  FieldValue scratch;
+  return parse_scalar(c, &scratch, error);
+}
+
+std::int64_t to_int(const FieldValue& v, std::int64_t fallback) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    return static_cast<std::int64_t>(*u);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  return fallback;
+}
+
+void write_field_value(std::ostream& os, const FieldValue& value) {
+  std::visit(
+      [&os](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else {
+          os << v;
+        }
+      },
+      value);
+}
+
+}  // namespace
+
+// --- parsing ---------------------------------------------------------------
+
+bool parse_jsonl_line(const std::string& line, TraceRecord* out,
+                      std::string* error) {
+  Cursor c(line);
+  c.skip_ws();
+  if (!c.expect('{')) {
+    *error = "expected '{'";
+    return false;
+  }
+  *out = TraceRecord{};
+  bool first = true;
+  while (true) {
+    c.skip_ws();
+    if (c.expect('}')) break;
+    if (!first && !c.expect(',')) {
+      *error = "expected ','";
+      return false;
+    }
+    c.skip_ws();
+    // A leading comma before the first pair (or after the last) is
+    // malformed; parse_string reports it as "expected string".
+    std::string key;
+    if (!parse_string(c, &key, error)) return false;
+    c.skip_ws();
+    if (!c.expect(':')) {
+      *error = "expected ':'";
+      return false;
+    }
+    FieldValue value;
+    if (!parse_scalar(c, &value, error)) return false;
+    first = false;
+
+    if (key == "t") {
+      if (std::holds_alternative<std::string>(value) ||
+          std::holds_alternative<bool>(value)) {
+        *error = "\"t\" must be a number";
+        return false;
+      }
+      out->at = to_int(value, 0);
+    } else if (key == "cat") {
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        out->category = *s;
+      } else {
+        *error = "\"cat\" must be a string";
+        return false;
+      }
+    } else if (key == "ev") {
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        out->name = *s;
+      } else {
+        *error = "\"ev\" must be a string";
+        return false;
+      }
+    } else if (key == "host") {
+      if (std::holds_alternative<std::string>(value) ||
+          std::holds_alternative<bool>(value)) {
+        *error = "\"host\" must be a number";
+        return false;
+      }
+      out->host = HostId{
+          static_cast<HostId::value_type>(to_int(value, kNoHost.value))};
+    } else {
+      out->field(std::move(key), std::move(value));
+    }
+  }
+  c.skip_ws();
+  if (!c.eof()) {
+    *error = "trailing characters after record";
+    return false;
+  }
+  return true;
+}
+
+bool read_jsonl(std::istream& is, std::vector<TraceRecord>* out,
+                std::string* error) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    TraceRecord r;
+    std::string line_error;
+    if (!parse_jsonl_line(line, &r, &line_error)) {
+      std::ostringstream os;
+      os << "line " << lineno << ": " << line_error;
+      *error = os.str();
+      return false;
+    }
+    out->push_back(std::move(r));
+  }
+  return true;
+}
+
+bool json_syntax_valid(const std::string& text, std::string* error) {
+  Cursor c(text);
+  std::string local;
+  if (!skip_value(c, 0, &local)) {
+    std::ostringstream os;
+    os << local << " at offset " << c.pos();
+    *error = os.str();
+    return false;
+  }
+  c.skip_ws();
+  if (!c.eof()) {
+    *error = "trailing characters after document";
+    return false;
+  }
+  return true;
+}
+
+const FieldValue* find_field(const TraceRecord& r, const std::string& key) {
+  for (const auto& [k, v] : r.fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t field_int(const TraceRecord& r, const std::string& key,
+                       std::int64_t fallback) {
+  const FieldValue* v = find_field(r, key);
+  return v != nullptr ? to_int(*v, fallback) : fallback;
+}
+
+std::string field_string(const TraceRecord& r, const std::string& key) {
+  const FieldValue* v = find_field(r, key);
+  if (v == nullptr) return {};
+  const auto* s = std::get_if<std::string>(v);
+  return s != nullptr ? *s : std::string{};
+}
+
+// --- queries ---------------------------------------------------------------
+
+const TraceRecord* find_manifest(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    if (r.category == "manifest") return &r;
+  }
+  return nullptr;
+}
+
+TraceSummary summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  std::set<std::int32_t> hosts;
+  bool first = true;
+  for (const TraceRecord& r : records) {
+    ++s.records;
+    if (first || r.at < s.first_at) s.first_at = r.at;
+    if (first || r.at > s.last_at) s.last_at = r.at;
+    first = false;
+    ++s.by_category[r.category];
+    ++s.by_event[r.category + "/" + r.name];
+    if (r.host.valid()) hosts.insert(r.host.value);
+    if (r.category == "protocol" && r.name == "delivered") ++s.deliveries;
+    if (r.category == "net" && r.name == "drop") ++s.drops;
+    const std::int64_t seq = field_int(r, "seq", -1);
+    if (seq > 0) {
+      s.max_seq = std::max(s.max_seq, static_cast<std::uint64_t>(seq));
+    }
+  }
+  s.host_count = hosts.size();
+  return s;
+}
+
+std::vector<TraceRecord> timeline(const std::vector<TraceRecord>& records,
+                                  std::int32_t host) {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records) {
+    if (r.host.value == host) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<LineageStep> lineage(const std::vector<TraceRecord>& records,
+                                 std::uint64_t seq) {
+  std::vector<LineageStep> steps;
+  for (const TraceRecord& r : records) {
+    const std::int64_t record_seq = field_int(r, "seq", -1);
+    if (record_seq < 0 || static_cast<std::uint64_t>(record_seq) != seq) {
+      continue;
+    }
+    LineageStep step;
+    step.at = r.at;
+    step.event = r.name;
+    step.host = r.host.value;
+    if (r.category == "net") {
+      if (r.name == "host_send") {
+        step.peer = static_cast<std::int32_t>(field_int(r, "to", -1));
+        step.detail = field_string(r, "kind");
+      } else if (r.name == "deliver") {
+        step.peer = static_cast<std::int32_t>(field_int(r, "from", -1));
+        step.detail = field_string(r, "kind");
+      } else if (r.name == "drop") {
+        step.peer = static_cast<std::int32_t>(field_int(r, "from", -1));
+        step.detail = field_string(r, "reason");
+      } else {
+        continue;
+      }
+    } else if (r.category == "protocol") {
+      if (r.name != "delivered" && r.name != "gapfill-offered" &&
+          r.name != "gapfill-accepted" && r.name != "gapfill-relayed") {
+        continue;
+      }
+      step.peer = static_cast<std::int32_t>(field_int(r, "peer", -1));
+    } else {
+      continue;
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+bool lineage_covers(const std::vector<LineageStep>& steps,
+                    std::int32_t source,
+                    const std::vector<std::int32_t>& hosts) {
+  std::set<std::int32_t> covered{source};
+  // Fixpoint over delivery edges (peer = sender, host = receiver): a
+  // single time-ordered pass would also do, but the fixpoint does not
+  // depend on that invariant.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const LineageStep& step : steps) {
+      if (step.event != "deliver") continue;
+      if (covered.contains(step.peer) && !covered.contains(step.host)) {
+        covered.insert(step.host);
+        grew = true;
+      }
+    }
+  }
+  return std::all_of(hosts.begin(), hosts.end(), [&covered](std::int32_t h) {
+    return covered.contains(h);
+  });
+}
+
+ConvergenceTimeline convergence_timeline(
+    const std::vector<TraceRecord>& records) {
+  ConvergenceTimeline t;
+  for (const TraceRecord& r : records) {
+    if (r.category != "protocol") continue;
+    const bool shape_change = r.name == "attached" || r.name == "detached" ||
+                              r.name == "cycle-broken" ||
+                              r.name == "parent-timeout";
+    if (r.name == "attached") ++t.attaches;
+    if (r.name == "detached" || r.name == "parent-timeout") ++t.detaches;
+    if (r.name == "cycle-broken") ++t.cycles_broken;
+    if (r.name == "attach-timeout") ++t.attach_timeouts;
+    if (shape_change) t.last_change_at = std::max(t.last_change_at, r.at);
+  }
+  return t;
+}
+
+// --- rendering --------------------------------------------------------------
+
+void print_record(std::ostream& os, const TraceRecord& r) {
+  os << '[' << sim::to_seconds(r.at) << "s] ";
+  if (r.host.valid()) {
+    os << 'h' << r.host.value;
+  } else {
+    os << "run";
+  }
+  os << ' ' << r.category << '/' << r.name;
+  for (const auto& [key, value] : r.fields) {
+    os << ' ' << key << '=';
+    write_field_value(os, value);
+  }
+  os << '\n';
+}
+
+void print_summary(std::ostream& os,
+                   const std::vector<TraceRecord>& records) {
+  const TraceRecord* manifest = find_manifest(records);
+  if (manifest != nullptr) os << manifest_line(*manifest) << '\n';
+  const TraceSummary s = summarize(records);
+  os << "records: " << s.records << " spanning "
+     << sim::to_seconds(s.first_at) << "s.." << sim::to_seconds(s.last_at)
+     << "s over " << s.host_count << " hosts\n";
+  os << "deliveries: " << s.deliveries << "  drops: " << s.drops
+     << "  max seq: " << s.max_seq << '\n';
+  for (const auto& [key, n] : s.by_event) {
+    os << "  " << key << ": " << n << '\n';
+  }
+}
+
+void print_lineage(std::ostream& os, const std::vector<LineageStep>& steps,
+                   std::uint64_t seq) {
+  os << "lineage of seq " << seq << " (" << steps.size() << " events)\n";
+  for (const LineageStep& step : steps) {
+    os << "  [" << sim::to_seconds(step.at) << "s] h" << step.host << ' '
+       << step.event;
+    if (step.peer >= 0) {
+      const bool inbound = step.event == "deliver";
+      os << (inbound ? " <- h" : " -> h") << step.peer;
+    }
+    if (!step.detail.empty()) os << " (" << step.detail << ')';
+    os << '\n';
+  }
+}
+
+void print_convergence(std::ostream& os,
+                       const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    if (r.category != "protocol") continue;
+    if (r.name == "delivered" || r.name.rfind("gapfill", 0) == 0) continue;
+    print_record(os, r);
+  }
+  const ConvergenceTimeline t = convergence_timeline(records);
+  os << "attaches: " << t.attaches << "  detaches: " << t.detaches
+     << "  cycles broken: " << t.cycles_broken
+     << "  attach timeouts: " << t.attach_timeouts << '\n';
+  os << "tree shape last changed at " << sim::to_seconds(t.last_change_at)
+     << "s\n";
+}
+
+}  // namespace rbcast::trace

@@ -65,6 +65,52 @@ void Samples::ensure_sorted() const {
   }
 }
 
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  RBCAST_CHECK_ARG(!bounds_.empty(), "histogram needs at least one bucket");
+  RBCAST_CHECK_ARG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                           bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    running += counts_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  RBCAST_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    running += counts_[i];
+    if (static_cast<double>(running) >= target && running > 0) {
+      return bounds_[i];
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
 std::uint64_t CounterMap::get(const std::string& name) const {
   auto it = m_.find(name);
   return it != m_.end() ? it->second : 0;

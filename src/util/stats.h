@@ -57,6 +57,41 @@ class Samples {
   void ensure_sorted() const;
 };
 
+// Fixed-bucket histogram with cumulative ("less-or-equal") bucket counts,
+// Prometheus-style. The metric sampler uses it to export delivery-latency
+// distributions as a compact time series; exact quantiles stay with
+// Samples. Bucket upper bounds must be strictly increasing; an implicit
+// +inf bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  // Cumulative count of samples <= upper_bounds()[i]. Size equals
+  // upper_bounds().size(); samples above the last bound only show in
+  // count().
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
+
+  // Quantile estimate from the bucket counts, q in [0, 1]: the smallest
+  // bucket bound whose cumulative count covers q of all samples, or the
+  // last bound when the target falls in the +inf bucket. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  void clear();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // per-bucket, bounds_ size + 1 (+inf)
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
 // Named monotonically increasing counters (message counts, byte counts...).
 class CounterMap {
  public:

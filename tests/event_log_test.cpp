@@ -130,6 +130,72 @@ TEST(EventLog, DumpSummarizesDeliveries) {
   EXPECT_NE(verbose.str().find("delivered"), std::string::npos);
 }
 
+TEST(EventLog, GapFillEventsRecordOfferAcceptRelay) {
+  sim::Simulator simulator;
+  EventLog log(simulator);
+  simulator.run_until(sim::seconds(3));
+  log.on_gapfill_offered(HostId{0}, HostId{1}, 4);
+  log.on_gapfill_accepted(HostId{1}, HostId{0}, 4);
+  log.on_gapfill_relayed(HostId{1}, HostId{2}, 4);
+
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.count(EventType::kGapFillOffered), 1u);
+  EXPECT_EQ(log.count(EventType::kGapFillAccepted), 1u);
+  EXPECT_EQ(log.count(EventType::kGapFillRelayed), 1u);
+
+  const Event& offered = log.events()[0];
+  EXPECT_EQ(offered.host, HostId{0});
+  EXPECT_EQ(offered.peer, HostId{1});
+  EXPECT_EQ(offered.seq, 4u);
+  EXPECT_EQ(offered.at, sim::seconds(3));
+
+  const Event& accepted = log.events()[1];
+  EXPECT_EQ(accepted.host, HostId{1});
+  EXPECT_EQ(accepted.peer, HostId{0});
+
+  EXPECT_NE(log.events()[2].describe().find("gapfill-relayed"),
+            std::string::npos);
+}
+
+TEST(EventLog, ToStringCoversEveryEventType) {
+  for (EventType type :
+       {EventType::kAttachRequested, EventType::kAttached,
+        EventType::kDetached, EventType::kParentTimeout,
+        EventType::kCycleBroken, EventType::kAttachTimeout,
+        EventType::kNewMaxRejected, EventType::kDelivered,
+        EventType::kGapFillOffered, EventType::kGapFillAccepted,
+        EventType::kGapFillRelayed}) {
+    const std::string name = to_string(type);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find("unknown"), std::string::npos)
+        << "unnamed event type " << static_cast<int>(type);
+  }
+  EXPECT_STREQ(to_string(EventType::kGapFillOffered), "gapfill-offered");
+  EXPECT_STREQ(to_string(EventType::kGapFillAccepted), "gapfill-accepted");
+  EXPECT_STREQ(to_string(EventType::kGapFillRelayed), "gapfill-relayed");
+}
+
+TEST(EventLog, GapFillEventsAppearInLossyScenario) {
+  topo::ClusteredWanOptions wan;
+  wan.clusters = 4;
+  wan.hosts_per_cluster = 2;
+  wan.expensive.loss_probability = 0.2;
+  harness::Experiment e(make_clustered_wan(wan).topology, fast_options());
+  e.start();
+  e.broadcast_stream(5, sim::milliseconds(400), sim::seconds(1));
+  e.run_until_delivered(sim::seconds(120));
+  ASSERT_TRUE(e.all_delivered());
+
+  auto& log = e.events();
+  // 20% trunk loss on a 4-cluster run must exercise the repair path, and
+  // every accepted fill arrived as either an offer or a relay.
+  EXPECT_GT(log.count(EventType::kGapFillOffered), 0u);
+  EXPECT_GT(log.count(EventType::kGapFillAccepted), 0u);
+  EXPECT_GE(log.count(EventType::kGapFillOffered) +
+                log.count(EventType::kGapFillRelayed),
+            log.count(EventType::kGapFillAccepted));
+}
+
 TEST(EventLog, ClearEmpties) {
   sim::Simulator simulator;
   EventLog log(simulator);

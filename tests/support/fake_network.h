@@ -30,6 +30,7 @@ class FakeHub {
     std::size_t bytes;
     std::string kind;
     sim::TimePoint at;
+    net::TraceId trace_id{0};
   };
   std::vector<Sent> log;
 
@@ -90,8 +91,9 @@ class FakeHub {
     Endpoint(FakeHub& hub, HostId self) : hub_(hub), self_(self) {}
     [[nodiscard]] HostId self() const override { return self_; }
     void send(HostId to, std::any payload, std::size_t bytes,
-              std::string kind) override {
-      hub_.dispatch(self_, to, std::move(payload), bytes, std::move(kind));
+              std::string kind, net::TraceId trace_id) override {
+      hub_.dispatch(self_, to, std::move(payload), bytes, std::move(kind),
+                    trace_id);
     }
 
    private:
@@ -104,8 +106,9 @@ class FakeHub {
   }
 
   void dispatch(HostId from, HostId to, std::any payload, std::size_t bytes,
-                std::string kind) {
-    log.push_back(Sent{from, to, payload, bytes, kind, simulator_.now()});
+                std::string kind, net::TraceId trace_id) {
+    log.push_back(
+        Sent{from, to, payload, bytes, kind, simulator_.now(), trace_id});
     if (dropped_.contains({from, to})) return;
     const bool expensive = expensive_pairs_.contains(key(from, to));
     net::Delivery d{.from = from,
@@ -115,7 +118,8 @@ class FakeHub {
                     .bytes = bytes,
                     .kind = std::move(kind),
                     .sent_at = simulator_.now(),
-                    .hops = 1};
+                    .hops = 1,
+                    .trace_id = trace_id};
     simulator_.after(delay, [this, d = std::move(d)] {
       auto it = receivers_.find(d.to);
       if (it != receivers_.end()) it->second(d);

@@ -55,6 +55,25 @@ def main():
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
 
+    if not baseline:
+        print(f"error: {args.baseline} contains no benchmarks",
+              file=sys.stderr)
+        return 1
+    if not current:
+        print(f"error: {args.current} contains no benchmarks",
+              file=sys.stderr)
+        return 1
+    if not set(baseline) & set(current):
+        # Completely disjoint name sets almost always mean the candidate
+        # came from a different bench binary (or a wholesale rename); a
+        # plain per-name "missing" report would bury that.
+        print(f"error: {args.baseline} and {args.current} share no "
+              f"benchmark names ({len(baseline)} baseline vs "
+              f"{len(current)} current) — comparing output of different "
+              f"bench binaries? If every benchmark was renamed, "
+              f"regenerate the committed baseline.", file=sys.stderr)
+        return 1
+
     missing = sorted(set(baseline) - set(current))
     new = sorted(set(current) - set(baseline))
     failures = []

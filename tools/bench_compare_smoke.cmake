@@ -1,0 +1,17 @@
+# Asserts bench_compare.py fails loudly on disjoint benchmark name sets:
+# non-zero exit AND a diagnosis naming the problem. Driven by the
+# bench_compare_mismatch ctest (see tools/CMakeLists.txt).
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${CURRENT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_compare.py exited 0 on mismatched benchmark names:\n${out}${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "share no benchmark names")
+  message(FATAL_ERROR
+    "bench_compare.py failed without the mismatch diagnosis:\n${out}${err}")
+endif()
+message(STATUS "bench_compare.py rejected mismatched names (exit ${rc})")

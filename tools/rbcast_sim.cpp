@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -44,6 +45,9 @@ struct CliOptions {
   bool verbose = false;
   std::string dot_prefix;  // write <prefix>.topology.dot / .parents.dot
   std::string csv_prefix;  // write <prefix>.counters.csv / .latencies.csv
+  std::string trace_out;     // JSONL trace file (rbcast_trace reads it)
+  std::string chrome_trace;  // Chrome/Perfetto trace_event JSON file
+  int sample_period_ms = 1000;  // metric time-series period when tracing
 };
 
 void usage() {
@@ -71,6 +75,12 @@ void usage() {
       "  --dot PREFIX       write PREFIX.topology.dot and\n"
       "                     PREFIX.parents.dot (Graphviz) at the end\n"
       "  --metrics-csv P    write P.counters.csv and P.latencies.csv\n"
+      "  --trace-out F      stream a JSONL trace of the run to F\n"
+      "                     (analyze with rbcast_trace)\n"
+      "  --chrome-trace F   also write a Chrome/Perfetto trace_event file\n"
+      "  --sample-period-ms N\n"
+      "                     metric time-series period when tracing\n"
+      "                     (default 1000; 0 disables sampling)\n"
       "  --seed N           experiment seed (default 1)\n"
       "  --deadline T       give up after T virtual seconds (default 600)\n"
       "  --csv              machine-readable output\n"
@@ -168,6 +178,15 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--metrics-csv") {
       if ((value = need_value(i)) == nullptr) return false;
       options.csv_prefix = value;
+    } else if (arg == "--trace-out") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.trace_out = value;
+    } else if (arg == "--chrome-trace") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.chrome_trace = value;
+    } else if (arg == "--sample-period-ms") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.sample_period_ms = std::atoi(value);
     } else if (arg == "--seed") {
       if ((value = need_value(i)) == nullptr) return false;
       options.seed = std::strtoull(value, nullptr, 10);
@@ -191,6 +210,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
   }
   if ((options.partition_at >= 0) != (options.partition_heal >= 0)) {
     std::cerr << "--partition-at and --partition-heal go together\n";
+    return false;
+  }
+  if (options.sample_period_ms < 0) {
+    std::cerr << "--sample-period-ms must be >= 0\n";
     return false;
   }
   return true;
@@ -237,6 +260,43 @@ int main(int argc, char** argv) {
   options.seed = cli.seed;
   harness::Experiment e(std::move(topology), options);
 
+  // The reproduction line: everything needed to rerun this exact run.
+  // Also the first record of every trace file.
+  std::cout << (cli.csv ? "# " : "") << trace::manifest_line(e.manifest())
+            << "\n";
+
+  // --- trace export --------------------------------------------------------
+
+  std::ofstream trace_file;
+  std::ofstream chrome_file;
+  std::unique_ptr<trace::JsonlSink> jsonl_sink;
+  std::unique_ptr<trace::ChromeTraceSink> chrome_sink;
+  trace::MultiSink trace_fanout;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << cli.trace_out << " for writing\n";
+      return 2;
+    }
+    jsonl_sink = std::make_unique<trace::JsonlSink>(trace_file);
+    trace_fanout.add(jsonl_sink.get());
+  }
+  if (!cli.chrome_trace.empty()) {
+    chrome_file.open(cli.chrome_trace);
+    if (!chrome_file) {
+      std::cerr << "cannot open " << cli.chrome_trace << " for writing\n";
+      return 2;
+    }
+    chrome_sink = std::make_unique<trace::ChromeTraceSink>(chrome_file);
+    trace_fanout.add(chrome_sink.get());
+  }
+  if (jsonl_sink != nullptr || chrome_sink != nullptr) {
+    e.set_trace_sink(&trace_fanout);
+    if (cli.sample_period_ms > 0) {
+      e.enable_metric_sampling(sim::milliseconds(cli.sample_period_ms));
+    }
+  }
+
   if (cli.partition_at >= 0 && !trunks.empty()) {
     e.faults().partition_window({trunks[0]},
                                 sim::from_seconds(cli.partition_at),
@@ -257,6 +317,18 @@ int main(int argc, char** argv) {
   schedule_workload(e, workload, util::Rng(cli.seed));
   const sim::TimePoint done =
       e.run_until_delivered(sim::from_seconds(cli.deadline_s));
+
+  // Close out the trace: one final metric sample so every series covers
+  // the full run, then flush/finalize the backends.
+  if (e.sampler() != nullptr) e.sampler()->sample_now();
+  trace_fanout.close();
+  if (!cli.trace_out.empty()) {
+    std::cerr << "wrote " << cli.trace_out << "\n";
+  }
+  if (!cli.chrome_trace.empty()) {
+    std::cerr << "wrote " << cli.chrome_trace
+              << " (load in ui.perfetto.dev)\n";
+  }
 
   // --- report --------------------------------------------------------------
 

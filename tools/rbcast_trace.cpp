@@ -1,0 +1,147 @@
+// rbcast_trace — offline analysis of JSONL run traces.
+//
+// Loads a trace written by `rbcast_sim --trace-out` (or any JsonlSink)
+// and answers the questions an experimenter asks of a finished run:
+// what happened overall, what one host did, how one broadcast message
+// propagated, and how the tree converged.
+//
+// Examples:
+//   rbcast_sim --clusters 4 --messages 20 --trace-out run.jsonl
+//   rbcast_trace --summary run.jsonl
+//   rbcast_trace --timeline 3 run.jsonl
+//   rbcast_trace --lineage 7 run.jsonl
+//   rbcast_trace --convergence run.jsonl
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.h"
+
+using namespace rbcast;
+
+namespace {
+
+enum class Mode { kSummary, kTimeline, kLineage, kConvergence };
+
+struct CliOptions {
+  Mode mode = Mode::kSummary;
+  std::int32_t host = -1;     // --timeline
+  std::uint64_t seq = 0;      // --lineage
+  std::string trace_path;
+};
+
+void usage() {
+  std::cout <<
+      "rbcast_trace — analyze a JSONL run trace\n\n"
+      "usage: rbcast_trace [mode] TRACE.jsonl\n\n"
+      "modes (default --summary):\n"
+      "  --summary          manifest, record counts, deliveries, drops\n"
+      "  --timeline HOST    every record on host HOST's track, in order\n"
+      "  --lineage SEQ      the causal relay + gap-fill path of broadcast\n"
+      "                     message SEQ across the network\n"
+      "  --convergence      attachment / cycle-break timeline and when the\n"
+      "                     tree last changed shape\n"
+      "  --help             this text\n\n"
+      "Traces come from `rbcast_sim --trace-out F` or any "
+      "trace::JsonlSink.\n";
+}
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  bool have_path = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--summary") {
+      options.mode = Mode::kSummary;
+    } else if (arg == "--convergence") {
+      options.mode = Mode::kConvergence;
+    } else if (arg == "--timeline") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.mode = Mode::kTimeline;
+      options.host = std::atoi(value);
+    } else if (arg == "--lineage") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.mode = Mode::kLineage;
+      options.seq = std::strtoull(value, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      return false;
+    } else {
+      if (have_path) {
+        std::cerr << "more than one trace file given\n";
+        return false;
+      }
+      options.trace_path = arg;
+      have_path = true;
+    }
+  }
+  if (!have_path) {
+    std::cerr << "no trace file given (try --help)\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  std::ifstream in(cli.trace_path);
+  if (!in) {
+    std::cerr << "cannot open " << cli.trace_path << "\n";
+    return 2;
+  }
+  std::vector<trace::TraceRecord> records;
+  std::string error;
+  if (!trace::read_jsonl(in, &records, &error)) {
+    std::cerr << cli.trace_path << ": " << error << "\n";
+    return 2;
+  }
+  if (records.empty()) {
+    std::cerr << cli.trace_path << ": empty trace\n";
+    return 1;
+  }
+
+  switch (cli.mode) {
+    case Mode::kSummary:
+      trace::print_summary(std::cout, records);
+      break;
+    case Mode::kTimeline: {
+      const auto track = trace::timeline(records, cli.host);
+      if (track.empty()) {
+        std::cerr << "no records for host " << cli.host << "\n";
+        return 1;
+      }
+      for (const auto& r : track) trace::print_record(std::cout, r);
+      break;
+    }
+    case Mode::kLineage: {
+      const auto steps = trace::lineage(records, cli.seq);
+      if (steps.empty()) {
+        std::cerr << "no records for seq " << cli.seq
+                  << " (trace ids require the paper or basic protocol)\n";
+        return 1;
+      }
+      trace::print_lineage(std::cout, steps, cli.seq);
+      break;
+    }
+    case Mode::kConvergence:
+      trace::print_convergence(std::cout, records);
+      break;
+  }
+  return 0;
+}

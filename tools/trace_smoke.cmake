@@ -1,0 +1,29 @@
+# End-to-end trace smoke driven by the trace_cli_smoke ctest: run a small
+# traced scenario through rbcast_sim, then exercise every rbcast_trace
+# query mode over the resulting JSONL file.
+set(trace_file ${WORK_DIR}/trace_smoke.jsonl)
+set(chrome_file ${WORK_DIR}/trace_smoke.chrome.json)
+
+execute_process(
+  COMMAND ${RBCAST_SIM} --clusters 2 --hosts 2 --messages 5 --seed 3
+          --trace-out ${trace_file} --chrome-trace ${chrome_file}
+          --sample-period-ms 500
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rbcast_sim traced run failed (${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "manifest: seed=3")
+  message(FATAL_ERROR "rbcast_sim stdout lacks the run manifest:\n${out}")
+endif()
+
+foreach(mode_args IN ITEMS "--summary" "--timeline;1" "--lineage;2"
+                           "--convergence")
+  execute_process(
+    COMMAND ${RBCAST_TRACE} ${mode_args} ${trace_file}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "rbcast_trace ${mode_args} failed (${rc}):\n${out}${err}")
+  endif()
+endforeach()
+message(STATUS "trace smoke passed: ${trace_file}")
