@@ -59,38 +59,66 @@ Row run_one(double trunk_loss, harness::ProtocolKind kind) {
              completion};
 }
 
-void run() {
-  print_header(
-      "E3 bench_recovery",
-      "Redelivery traffic under loss (3 clusters x 3 hosts, 40 messages)\n"
-      "(paper: tree redeliveries come from cluster neighbors / the parent\n"
-      " cluster; basic redeliveries always come from the source)");
+// Google-benchmark JSON shape so tools/bench_compare.py can gate these
+// rows against the committed baseline (BENCH_recovery.json). The "times"
+// are deterministic virtual metrics of seeded simulations — identical on
+// every machine — so the gate threshold can be tight.
+void emit_json_row(std::ostream& os, bool& first, const std::string& name,
+                   double value, const char* unit) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\": \"" << name << "\", \"run_type\": \"iteration\", "
+     << "\"iterations\": 1, \"real_time\": " << value << ", \"cpu_time\": "
+     << value << ", \"time_unit\": \"" << unit << "\"}";
+}
+
+void run(bool json) {
+  if (!json) {
+    print_header(
+        "E3 bench_recovery",
+        "Redelivery traffic under loss (3 clusters x 3 hosts, 40 messages)\n"
+        "(paper: tree redeliveries come from cluster neighbors / the parent\n"
+        " cluster; basic redeliveries always come from the source)");
+  }
 
   util::Table table({"trunk loss", "protocol", "redeliveries/msg",
                      "inter-cluster share", "completion s"});
+  std::ostringstream rows;
+  bool first = true;
   for (double loss : {0.01, 0.05, 0.10, 0.20}) {
-    const Row tree = run_one(loss, harness::ProtocolKind::kPaper);
-    const Row basic = run_one(loss, harness::ProtocolKind::kBasic);
-    table.row()
-        .cell(loss, 2)
-        .cell("tree")
-        .cell(tree.redeliveries, 2)
-        .cell(tree.intercluster_fraction, 2)
-        .cell(tree.completion_seconds, 1);
-    table.row()
-        .cell(loss, 2)
-        .cell("basic")
-        .cell(basic.redeliveries, 2)
-        .cell(basic.intercluster_fraction, 2)
-        .cell(basic.completion_seconds, 1);
+    for (auto kind :
+         {harness::ProtocolKind::kPaper, harness::ProtocolKind::kBasic}) {
+      const bool tree = kind == harness::ProtocolKind::kPaper;
+      const Row r = run_one(loss, kind);
+      table.row()
+          .cell(loss, 2)
+          .cell(tree ? "tree" : "basic")
+          .cell(r.redeliveries, 2)
+          .cell(r.intercluster_fraction, 2)
+          .cell(r.completion_seconds, 1);
+      std::ostringstream name;
+      name << "recovery/loss=" << loss << "/" << (tree ? "tree" : "basic");
+      emit_json_row(rows, first, name.str() + "/completion",
+                    r.completion_seconds, "s");
+      // Offset by one so a zero-redelivery cell cannot zero a baseline
+      // entry (ratio gates cannot divide by zero).
+      emit_json_row(rows, first, name.str() + "/redeliveries_per_msg",
+                    1.0 + r.redeliveries, "s");
+    }
   }
-  table.print(std::cout);
+  if (json) {
+    std::cout << "{\n  \"context\": {\"virtual_time\": true},\n"
+              << "  \"benchmarks\": [\n" << rows.str() << "\n  ]\n}\n";
+  } else {
+    table.print(std::cout);
+  }
 }
 
 }  // namespace
 }  // namespace rbcast::bench
 
-int main() {
-  rbcast::bench::run();
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::string(argv[1]) == "--json";
+  rbcast::bench::run(json);
   return 0;
 }

@@ -45,7 +45,7 @@ HostId best_candidate(const HostState& s, const std::set<HostId>& excluded,
     if (!basically_eligible(s, j, excluded)) continue;
     if (!pred(j)) continue;
     const Seq jmax = s.map(j).max_seq();
-    const int jorder = HostState::order(j);
+    const int jorder = s.order(j);
     if (!best.valid() || jmax > best_max ||
         (jmax == best_max && jorder > best_order)) {
       best = j;
@@ -70,7 +70,7 @@ HostId option_2(const HostState& s, const std::set<HostId>& excluded) {
   return best_candidate(s, excluded, [&](HostId j) {
     return s.in_cluster(j) && is_leader_view(s, j) &&
            s.info().max_equal(s.map(j)) &&
-           HostState::order(s.self()) < HostState::order(j);
+           s.order(s.self()) < s.order(j);
   });
 }
 
@@ -157,10 +157,10 @@ AttachmentDecision run_attachment(const HostState& state,
         std::all_of(walk.ancestors.begin(), walk.ancestors.end(),
                     [&](HostId h) { return state.in_cluster(h); });
     if (single_cluster) {
-      const int my_order = HostState::order(state.self());
+      const int my_order = state.order(state.self());
       const bool i_am_highest =
           std::all_of(walk.ancestors.begin(), walk.ancestors.end(),
-                      [&](HostId h) { return HostState::order(h) < my_order; });
+                      [&](HostId h) { return state.order(h) < my_order; });
       if (i_am_highest) {
         return decide(AttachmentDecision::Action::kBreakCycle, kNoHost,
                       "cycle");

@@ -16,7 +16,7 @@ BroadcastHost::BroadcastHost(sim::Simulator& simulator,
       endpoint_(endpoint),
       source_(source),
       config_(std::move(config)),
-      state_(endpoint.self(), std::move(all_hosts)),
+      state_(endpoint.self(), std::move(all_hosts), source),
       rng_(rng),
       app_deliver_(std::move(app_deliver)) {
   RBCAST_CHECK_ARG(source.valid(), "invalid source id");

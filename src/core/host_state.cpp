@@ -10,12 +10,16 @@ namespace {
 const SeqSet kEmptySet{};
 }
 
-HostState::HostState(HostId self, std::vector<HostId> all_hosts)
-    : self_(self), all_hosts_(std::move(all_hosts)) {
+HostState::HostState(HostId self, std::vector<HostId> all_hosts,
+                     HostId source)
+    : self_(self), all_hosts_(std::move(all_hosts)), source_(source) {
   RBCAST_CHECK_ARG(self.valid(), "invalid self id");
   RBCAST_CHECK_ARG(
       std::find(all_hosts_.begin(), all_hosts_.end(), self) != all_hosts_.end(),
       "self must be among all_hosts");
+  for (HostId h : all_hosts_) {
+    source_order_ = std::max(source_order_, h.value + 1);
+  }
   // "CLUSTER_i is initialized to {i}, i.e., in the beginning each host
   // assumes that it is in a cluster by itself."
   cluster_.insert(self_);

@@ -26,9 +26,18 @@ using util::SeqSet;
 
 class HostState {
  public:
-  // `all_hosts` must contain `self`. Static order is the host id value —
-  // any fixed linear order satisfies the paper's requirement.
-  HostState(HostId self, std::vector<HostId> all_hosts);
+  // `all_hosts` must contain `self`. Any fixed linear order satisfies the
+  // paper's requirement; ours is the host id value with the broadcast
+  // source promoted to the maximum. The promotion matters for liveness:
+  // option (2) of the attachment procedure consolidates a cluster's
+  // leaders under its greatest-order member, and the source — the one
+  // permanent root, which never attaches — must therefore outrank its
+  // cluster peers or a second leader in the source's cluster would be a
+  // stable configuration whenever the stream is quiescent (option (1)
+  // needs an INFO gap that only exists while a message is in flight).
+  // Found by the chaos harness; see DESIGN.md Section 10.
+  HostState(HostId self, std::vector<HostId> all_hosts,
+            HostId source = kNoHost);
 
   [[nodiscard]] HostId self() const { return self_; }
   [[nodiscard]] const std::vector<HostId>& all_hosts() const {
@@ -36,7 +45,9 @@ class HostState {
   }
 
   // --- static order ------------------------------------------------------
-  [[nodiscard]] static int order(HostId h) { return h.value; }
+  [[nodiscard]] int order(HostId h) const {
+    return h == source_ ? source_order_ : h.value;
+  }
 
   // --- INFO / message store ----------------------------------------------
 
@@ -117,6 +128,8 @@ class HostState {
 
   HostId self_;
   std::vector<HostId> all_hosts_;
+  HostId source_{kNoHost};
+  int source_order_{0};  // 1 + max host id: strictly above every peer
 
   SeqSet info_;
   std::map<Seq, std::string> bodies_;

@@ -50,4 +50,58 @@ class ProtocolObserver {
                                   util::Seq /*seq*/) {}
 };
 
+// Broadcasts every protocol event to several observers in registration
+// order — lets the event log and the runtime invariant monitor watch the
+// same host. Observers are borrowed and must outlive the fanout's
+// installation; null observers are skipped at add time.
+class ProtocolObserverFanout final : public ProtocolObserver {
+ public:
+  void add(ProtocolObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void on_attach_requested(HostId host, HostId candidate,
+                           const std::string& rule) override {
+    for (ProtocolObserver* o : observers_) {
+      o->on_attach_requested(host, candidate, rule);
+    }
+  }
+  void on_attached(HostId host, HostId parent) override {
+    for (ProtocolObserver* o : observers_) o->on_attached(host, parent);
+  }
+  void on_detached(HostId host, HostId old_parent, bool timeout) override {
+    for (ProtocolObserver* o : observers_) {
+      o->on_detached(host, old_parent, timeout);
+    }
+  }
+  void on_cycle_broken(HostId host) override {
+    for (ProtocolObserver* o : observers_) o->on_cycle_broken(host);
+  }
+  void on_attach_timeout(HostId host, HostId candidate) override {
+    for (ProtocolObserver* o : observers_) o->on_attach_timeout(host, candidate);
+  }
+  void on_new_max_rejected(HostId host, HostId from, util::Seq seq) override {
+    for (ProtocolObserver* o : observers_) {
+      o->on_new_max_rejected(host, from, seq);
+    }
+  }
+  void on_delivered(HostId host, util::Seq seq) override {
+    for (ProtocolObserver* o : observers_) o->on_delivered(host, seq);
+  }
+  void on_gapfill_offered(HostId host, HostId to, util::Seq seq) override {
+    for (ProtocolObserver* o : observers_) o->on_gapfill_offered(host, to, seq);
+  }
+  void on_gapfill_accepted(HostId host, HostId from, util::Seq seq) override {
+    for (ProtocolObserver* o : observers_) {
+      o->on_gapfill_accepted(host, from, seq);
+    }
+  }
+  void on_gapfill_relayed(HostId host, HostId to, util::Seq seq) override {
+    for (ProtocolObserver* o : observers_) o->on_gapfill_relayed(host, to, seq);
+  }
+
+ private:
+  std::vector<ProtocolObserver*> observers_;
+};
+
 }  // namespace rbcast::core

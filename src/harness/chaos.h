@@ -1,0 +1,139 @@
+// Chaos harness: serializable fault-schedule specs, seeded expansion into
+// concrete schedules, monitored execution, and auto-shrinking reproducers.
+//
+// A ChaosSpec is a two-line reproducible artifact: the JSON spec plus a
+// seed fully determine a run. A spec starts *abstract* — generator knobs
+// (how many outages, crashes, partitions, which trunks flap) that
+// concretize() expands, with seeded streams, into an explicit list of
+// ChaosEvents plus drawn topology/config jitter. A *concrete* spec
+// replays its event list verbatim, which is what makes delta-debugging
+// possible: shrink_chaos() removes events, shrinks the topology and the
+// workload while the run keeps failing, yielding a minimal repro spec.
+//
+// Every chaos run executes under the online InvariantMonitor
+// (src/harness/invariant_monitor.h): the model checker's I1-I5 plus the
+// C1-C3 liveness conditions, with faults declared quiet at fault_end_s.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/invariant_monitor.h"
+#include "trace/trace_sink.h"
+
+namespace rbcast::harness {
+
+// One concrete fault. Targets are mapped modulo the relevant entity count
+// at apply time (trunk index for outages, host id for crashes, cluster
+// index for partitions), so a schedule stays valid when the topology is
+// shrunk underneath it.
+struct ChaosEvent {
+  std::string type;  // "outage" | "crash" | "partition"
+  int target{0};
+  double from_s{0};
+  double to_s{0};
+};
+
+struct ChaosSpec {
+  // --- topology (jittered by concretize when jitter_topology) -----------
+  int clusters{4};
+  int hosts_per_cluster{3};
+  std::string shape{"ring"};  // line | ring | star | random_tree
+
+  // --- workload ----------------------------------------------------------
+  int broadcasts{10};
+  double interval_s{2.0};
+  double first_at_s{5.0};
+
+  // --- horizon and liveness deadlines ------------------------------------
+  // All faults end by fault_end_s; the monitor's liveness clocks (C1-C3)
+  // start there. horizon_s <= 0 means fault_end + converge_deadline + 10.
+  double fault_end_s{60.0};
+  double orphan_limit_s{45.0};
+  double converge_deadline_s{90.0};
+  double horizon_s{0.0};
+
+  // --- generator knobs (ignored once concrete) ---------------------------
+  int outages{3};
+  int crashes{1};
+  int partitions{1};
+  int flap_links{2};
+  double flap_mean_up_s{8.0};
+  double flap_mean_down_s{3.0};
+  double min_window_s{2.0};
+  double max_window_s{12.0};
+  bool jitter_topology{false};
+  bool jitter_config{true};
+
+  // --- protocol config overrides (drawn by concretize under
+  // jitter_config; absent fields keep core::Config defaults) --------------
+  std::optional<double> attach_period_s;
+  std::optional<double> info_period_inter_s;
+  std::optional<double> gapfill_period_neighbor_s;
+  std::optional<bool> piggyback_info;
+
+  // --- concrete schedule --------------------------------------------------
+  // `concrete` marks an expanded spec; it stays true even when shrinking
+  // empties the event list (a failure that needs no faults at all).
+  bool concrete{false};
+  std::vector<ChaosEvent> events;
+};
+
+// --- (de)serialization ----------------------------------------------------
+
+// Serializes round-trippably: parse_chaos_spec(to_json(s)) == s.
+[[nodiscard]] std::string to_json(const ChaosSpec& spec);
+
+// Throws std::invalid_argument on malformed JSON or unknown fields that
+// matter; unknown keys are ignored for forward compatibility.
+[[nodiscard]] ChaosSpec parse_chaos_spec(const std::string& json);
+
+// Reads and parses a spec file; throws std::invalid_argument on I/O error.
+[[nodiscard]] ChaosSpec load_chaos_spec(const std::string& path);
+
+// --- expansion and execution ----------------------------------------------
+
+// Expands an abstract spec into a concrete one: draws topology/config
+// jitter and the full fault schedule from streams seeded by `seed`.
+// Deterministic; returns concrete specs unchanged.
+[[nodiscard]] ChaosSpec concretize(const ChaosSpec& spec, std::uint64_t seed);
+
+struct ChaosRunResult {
+  std::vector<InvariantViolation> violations;
+  bool delivered_all{false};
+  // Virtual time when every host held every message (horizon if never).
+  double completion_s{0};
+  // The run's reproduction line (seed, topology, protocol, build).
+  std::string manifest;
+  [[nodiscard]] bool violated() const { return !violations.empty(); }
+};
+
+// Concretizes (if needed) and runs one monitored scenario. `seed` drives
+// both the expansion and the simulation. When `sink` is given the whole
+// run is traced into it (manifest, protocol events, network events).
+[[nodiscard]] ChaosRunResult run_chaos(const ChaosSpec& spec,
+                                       std::uint64_t seed,
+                                       trace::TraceSink* sink = nullptr);
+
+// --- auto-shrinking --------------------------------------------------------
+
+struct ShrinkResult {
+  ChaosSpec spec;  // minimized, concrete
+  std::vector<InvariantViolation> violations;  // of the minimized repro
+  int attempts{0};       // re-runs spent
+  int events_before{0};
+  int events_after{0};
+};
+
+// Delta-debugs a failing spec to a smaller reproducer: ddmin over the
+// concrete event list, then greedy shrinking of topology, workload and
+// fault horizon — keeping every candidate only if it still violates the
+// same invariant as the original failure. Precondition: run_chaos(spec,
+// seed) reports at least one violation (checked; throws otherwise).
+[[nodiscard]] ShrinkResult shrink_chaos(const ChaosSpec& failing,
+                                        std::uint64_t seed,
+                                        int max_attempts = 200);
+
+}  // namespace rbcast::harness

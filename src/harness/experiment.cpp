@@ -16,6 +16,9 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
           static_cast<std::size_t>(options_.source.value) <
               topology_.host_count(),
       "source is not a host of the topology");
+  RBCAST_CHECK_ARG(!options_.monitor_invariants ||
+                       options_.protocol_kind == ProtocolKind::kPaper,
+                   "monitor_invariants applies to the paper protocol");
 
   network_ = std::make_unique<net::Network>(simulator_, topology_,
                                             options_.net, rngs_);
@@ -47,6 +50,16 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
           ordered_[static_cast<std::size_t>(h.value)]->on_message(seq, body);
         };
       }
+      if (options_.monitor_invariants) {
+        // The monitor observes first receipts (what the protocol promises),
+        // upstream of any ordering adapter. monitor_ is created after the
+        // hosts; deliveries only happen once the simulation runs.
+        deliver = [this, h, inner = std::move(deliver)](
+                      util::Seq seq, const std::string& body) {
+          if (monitor_ != nullptr) monitor_->on_app_delivery(h, seq, body);
+          inner(seq, body);
+        };
+      }
       auto node = std::make_unique<core::BroadcastHost>(
           simulator_, network_->endpoint(h), options_.source, all_hosts,
           options_.protocol, rngs_.stream("host.jitter", h.value),
@@ -65,6 +78,15 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
       network_->register_host(h, [this, h](const net::Delivery& d) {
         paper_hosts_[static_cast<std::size_t>(h.value)]->on_delivery(d);
       });
+    }
+    if (options_.monitor_invariants) {
+      monitor_ = std::make_unique<InvariantMonitor>(
+          simulator_, host_views(), *network_, options_.source,
+          options_.monitor);
+      proto_fanout_.add(events_.get());
+      proto_fanout_.add(monitor_.get());
+      for (auto& host : paper_hosts_) host->set_observer(&proto_fanout_);
+      install_observers();
     }
   } else if (options_.protocol_kind == ProtocolKind::kGossip) {
     gossip_nodes_.resize(all_hosts.size());
@@ -127,7 +149,7 @@ trace::TraceRecord Experiment::manifest() const {
 }
 
 void Experiment::install_observers() {
-  if (sink_ == nullptr && sampler_ == nullptr) {
+  if (sink_ == nullptr && sampler_ == nullptr && monitor_ == nullptr) {
     network_->set_observer(metrics_.get());
     return;
   }
@@ -135,6 +157,7 @@ void Experiment::install_observers() {
   observer_fanout_.add(metrics_.get());
   observer_fanout_.add(net_tap_.get());
   observer_fanout_.add(sampler_.get());
+  observer_fanout_.add(monitor_.get());
   network_->set_observer(&observer_fanout_);
 }
 
@@ -196,6 +219,7 @@ trace::MetricSampler::TreeShape Experiment::tree_shape() const {
 void Experiment::start() {
   if (options_.protocol_kind == ProtocolKind::kPaper) {
     for (auto& host : paper_hosts_) host->start();
+    if (monitor_ != nullptr) monitor_->start();
   } else if (options_.protocol_kind == ProtocolKind::kGossip) {
     for (auto& node : gossip_nodes_) node->start();
   } else {
@@ -211,7 +235,16 @@ util::Seq Experiment::broadcast(std::string body) {
   if (body.empty()) body = make_body();
   util::Seq seq = 0;
   if (options_.protocol_kind == ProtocolKind::kPaper) {
-    seq = host(options_.source).broadcast(std::move(body));
+    if (monitor_ != nullptr) {
+      // The monitor needs the body as I2/I3 ground truth. Registration
+      // happens right after broadcast() returns (the seq is assigned
+      // inside), before any further simulator event can observe the gap.
+      std::string copy = body;
+      seq = host(options_.source).broadcast(std::move(body));
+      monitor_->on_source_broadcast(seq, copy);
+    } else {
+      seq = host(options_.source).broadcast(std::move(body));
+    }
   } else if (options_.protocol_kind == ProtocolKind::kGossip) {
     seq = gossip_node(options_.source).broadcast(std::move(body));
   } else {

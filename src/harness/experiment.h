@@ -15,6 +15,8 @@
 #include "core/config.h"
 #include "core/gossip_protocol.h"
 #include "core/ordered_delivery.h"
+#include "core/protocol_observer.h"
+#include "harness/invariant_monitor.h"
 #include "net/fault_plan.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -48,6 +50,12 @@ struct ScenarioOptions {
   // then measure in-order availability rather than first receipt. The
   // paper's Section 1 argues unordered delivery is the cheaper default.
   bool ordered_delivery{false};
+  // When true (paper protocol only), an InvariantMonitor shadows the run,
+  // checking the model checker's safety invariants I1-I5 online plus the
+  // C1-C3 liveness conditions (armed via monitor()->set_faults_quiet_at).
+  // Read-only: enabling it does not change the protocol event digest.
+  bool monitor_invariants{false};
+  MonitorOptions monitor{};
 };
 
 class Experiment {
@@ -120,6 +128,8 @@ class Experiment {
   [[nodiscard]] trace::Metrics& metrics() { return *metrics_; }
   // Protocol event timeline (paper protocol only; empty for the baseline).
   [[nodiscard]] trace::EventLog& events() { return *events_; }
+  // The online invariant monitor (nullptr unless monitor_invariants).
+  [[nodiscard]] InvariantMonitor* monitor() { return monitor_.get(); }
   [[nodiscard]] const topo::Topology& topology() const { return topology_; }
   [[nodiscard]] const util::RngFactory& rngs() const { return rngs_; }
   [[nodiscard]] HostId source() const { return options_.source; }
@@ -163,6 +173,12 @@ class Experiment {
   [[nodiscard]] trace::MetricSampler::TreeShape tree_shape() const;
   [[nodiscard]] const char* protocol_name() const;
   void install_observers();
+
+  // Invariant monitoring (optional). The protocol fanout lets the event
+  // log and the monitor watch the same hosts; declared before the hosts so
+  // it outlives them.
+  core::ProtocolObserverFanout proto_fanout_;
+  std::unique_ptr<InvariantMonitor> monitor_;
 
   std::vector<std::unique_ptr<core::BroadcastHost>> paper_hosts_;
   std::vector<std::unique_ptr<core::OrderedDeliveryAdapter>> ordered_;

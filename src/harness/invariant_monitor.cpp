@@ -1,0 +1,223 @@
+#include "harness/invariant_monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "model/invariants.h"
+#include "trace/convergence.h"
+#include "util/assert.h"
+
+namespace rbcast::harness {
+
+namespace inv = model::invariants;
+
+InvariantMonitor::InvariantMonitor(
+    sim::Simulator& simulator, std::vector<const core::BroadcastHost*> hosts,
+    const net::Network& network, HostId source, MonitorOptions options)
+    : simulator_(simulator),
+      hosts_(std::move(hosts)),
+      network_(network),
+      source_(source),
+      options_(options),
+      delivery_counts_(hosts_.size()),
+      delivered_bodies_(hosts_.size()),
+      proto_delivered_(hosts_.size()),
+      orphan_since_(hosts_.size()),
+      sweep_task_(simulator, options.sweep_period, [this] { sweep_now(); }) {
+  RBCAST_CHECK_ARG(!hosts_.empty(), "monitor needs at least one host");
+  RBCAST_CHECK_ARG(options_.sweep_period > 0, "sweep period must be positive");
+  // Every non-source host starts orphaned (parent = NIL) at t=0.
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->self() != source_) orphan_since_[i] = sim::TimePoint{0};
+  }
+}
+
+void InvariantMonitor::start() { sweep_task_.start(options_.sweep_period); }
+
+void InvariantMonitor::set_faults_quiet_at(sim::TimePoint t) {
+  quiet_at_ = t;
+  liveness_anchor_.reset();
+  cycle_since_.reset();
+  converge_checked_ = false;
+}
+
+void InvariantMonitor::on_source_broadcast(util::Seq seq,
+                                           const std::string& body) {
+  RBCAST_CHECK_ARG(seq == source_bodies_.size() + 1,
+                   "source broadcasts must be reported in sequence order");
+  source_bodies_.push_back(body);
+  if (quiet_at_.has_value() && !liveness_anchor_.has_value() &&
+      simulator_.now() >= *quiet_at_) {
+    liveness_anchor_ = simulator_.now();
+  }
+}
+
+void InvariantMonitor::on_app_delivery(HostId host, util::Seq seq,
+                                       const std::string& body) {
+  const auto i = static_cast<std::size_t>(host.value);
+  RBCAST_CHECK_ARG(host.valid() && i < hosts_.size(), "unknown host");
+  ++delivery_counts_[i][seq];
+  delivered_bodies_[i].emplace(seq, body);  // keep the first body seen
+}
+
+void InvariantMonitor::on_attached(HostId host, HostId /*parent*/) {
+  orphan_since_[static_cast<std::size_t>(host.value)].reset();
+}
+
+void InvariantMonitor::on_detached(HostId host, HostId /*old_parent*/,
+                                   bool /*timeout*/) {
+  orphan_since_[static_cast<std::size_t>(host.value)] = simulator_.now();
+}
+
+void InvariantMonitor::on_delivered(HostId host, util::Seq seq) {
+  // The protocol layer announces each first receipt exactly once; a repeat
+  // means a duplicate slipped past the INFO bookkeeping (I1 at the
+  // protocol layer, before the application even sees it).
+  const auto i = static_cast<std::size_t>(host.value);
+  if (!proto_delivered_[i].insert(seq).second) {
+    std::ostringstream os;
+    os << host << " announced first receipt of message " << seq << " twice";
+    record(inv::kExactlyOnce, "I1p#" + std::to_string(host.value), os.str());
+  }
+}
+
+void InvariantMonitor::on_deliver(const net::Delivery& d) {
+  if (d.trace_id == 0 || net::trace_source(d.trace_id) != source_) return;
+  const auto seq = static_cast<util::Seq>(net::trace_seq(d.trace_id));
+  if (seq > source_bodies_.size()) {
+    std::ostringstream os;
+    os << "a copy of message " << seq << " reached " << d.to << " but only "
+       << source_bodies_.size() << " messages were generated";
+    record(inv::kNoInvention, "I3w#" + std::to_string(d.to.value), os.str());
+  }
+}
+
+void InvariantMonitor::record(const char* invariant,
+                              const std::string& dedup_key,
+                              const std::string& description) {
+  if (!seen_.insert(dedup_key).second) return;
+  if (violations_.size() >= options_.max_violations) {
+    ++dropped_;
+    return;
+  }
+  violations_.push_back(
+      InvariantViolation{invariant, description, simulator_.now()});
+}
+
+void InvariantMonitor::sweep_now() {
+  ++sweeps_;
+  check_safety();
+  check_liveness();
+}
+
+void InvariantMonitor::finish() {
+  sweep_now();
+  sweep_task_.stop();
+}
+
+void InvariantMonitor::check_safety() {
+  auto report = [&](const char* id, std::size_t i,
+                    const std::optional<std::string>& what) {
+    if (what.has_value()) {
+      record(id, std::string(id) + "#" + std::to_string(i), *what);
+    }
+  };
+  const auto generated = static_cast<util::Seq>(source_bodies_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const core::BroadcastHost& host = *hosts_[i];
+    const HostId self = host.self();
+    report(inv::kExactlyOnce, i,
+           inv::check_exactly_once(self, delivery_counts_[i]));
+    report(inv::kIntegrity, i,
+           inv::check_integrity(self, delivered_bodies_[i], source_bodies_));
+    report(inv::kNoInvention, i,
+           inv::check_no_invention(self, host.info().max_seq(), generated));
+    report(inv::kInfoConsistency, i,
+           inv::check_info_consistency(self, delivery_counts_[i].size(),
+                                       host.info().count()));
+    report(inv::kSaneParent, i, inv::check_sane_parent(self, host.parent()));
+  }
+}
+
+void InvariantMonitor::check_liveness() {
+  const sim::TimePoint now = simulator_.now();
+  if (!quiet_at_.has_value() || now < *quiet_at_) {
+    cycle_since_.reset();
+    return;
+  }
+
+  // C1: a parent cycle may exist transiently (the Section 4.3 rule breaks
+  // it within a round); one persisting for the whole orphan bound is a
+  // liveness failure.
+  if (const auto on_cycle = find_parent_cycle(); on_cycle.has_value()) {
+    if (!cycle_since_.has_value()) cycle_since_ = now;
+    if (now - *cycle_since_ >= options_.orphan_limit) {
+      std::ostringstream os;
+      os << "parent cycle through " << *on_cycle << " has persisted since t="
+         << sim::to_seconds(*cycle_since_) << "s";
+      record(kCycleAfterQuiet, "C1", os.str());
+    }
+  } else {
+    cycle_since_.reset();
+  }
+
+  // C2/C3 run only once new information has flowed after quiescence (see
+  // the header: a caught-up orphan has no attach candidate without it).
+  if (!liveness_anchor_.has_value()) return;
+  const sim::TimePoint anchor = *liveness_anchor_;
+
+  // C2: every non-source host must re-attach within the orphan bound.
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (!orphan_since_[i].has_value()) continue;
+    const sim::TimePoint since = std::max(*orphan_since_[i], anchor);
+    if (now - since > options_.orphan_limit) {
+      std::ostringstream os;
+      os << hosts_[i]->self() << " has been orphaned since t="
+         << sim::to_seconds(since) << "s (limit "
+         << sim::to_seconds(options_.orphan_limit) << "s)";
+      record(kOrphanBound, "C2#" + std::to_string(i), os.str());
+    }
+  }
+
+  // C3: checked once, at the deadline.
+  if (converge_checked_ || now < anchor + options_.converge_deadline) {
+    return;
+  }
+  converge_checked_ = true;
+  const trace::ConvergenceReport report =
+      trace::analyze_convergence(hosts_, network_, source_);
+  if (!report.fully_converged()) {
+    record(kConvergeDeadline, "C3",
+           "parent graph is not a source-rooted cluster tree at the "
+           "convergence deadline: " +
+               report.detail);
+  }
+  const auto generated = static_cast<util::Seq>(source_bodies_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const auto& info = hosts_[i]->info();
+    if (info.count() < generated || info.max_seq() < generated) {
+      std::ostringstream os;
+      os << hosts_[i]->self() << " holds " << info.count() << " of "
+         << generated << " messages at the convergence deadline";
+      record(kConvergeDeadline, "C3#" + std::to_string(i), os.str());
+    }
+  }
+}
+
+std::optional<HostId> InvariantMonitor::find_parent_cycle() const {
+  const std::size_t n = hosts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    HostId cursor = hosts_[i]->self();
+    std::size_t steps = 0;
+    while (steps <= n) {
+      const HostId up = hosts_[static_cast<std::size_t>(cursor.value)]->parent();
+      if (!up.valid()) break;
+      cursor = up;
+      ++steps;
+    }
+    if (steps > n) return hosts_[i]->self();
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbcast::harness

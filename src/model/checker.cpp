@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "model/invariants.h"
 #include "util/assert.h"
 
 namespace rbcast::model {
@@ -151,49 +152,30 @@ std::vector<std::pair<std::string, SystemState>> Checker::successors(
 void Checker::check_invariants(const SystemState& state,
                                const std::vector<std::string>& trace,
                                std::vector<Violation>& violations) const {
-  auto report = [&](const char* inv, const std::string& what) {
-    violations.push_back(Violation{inv, what, trace});
+  namespace inv = invariants;
+  auto report = [&](const char* id,
+                    const std::optional<std::string>& what) {
+    if (what.has_value()) {
+      violations.push_back(Violation{id, *what, trace});
+    }
   };
 
+  // The predicates themselves are shared with the runtime monitor
+  // (src/harness/invariant_monitor.*); see src/model/invariants.h.
   for (const ModelNode& node : state.nodes) {
-    std::ostringstream who;
-    who << node.self();
-
-    // I1: exactly-once delivery.
-    for (const auto& [seq, count] : node.deliveries()) {
-      if (count > 1) {
-        report("I1", who.str() + " delivered message " +
-                         std::to_string(seq) + " " + std::to_string(count) +
-                         " times");
-      }
-    }
-    // I2: body integrity.
-    for (const auto& [seq, body] : node.delivered_bodies()) {
-      if (seq == 0 || seq > state.bodies.size() ||
-          state.bodies[static_cast<std::size_t>(seq - 1)] != body) {
-        report("I2", who.str() + " delivered a corrupted body for message " +
-                         std::to_string(seq));
-      }
-    }
-    // I3: no invented sequence numbers.
-    if (node.state().info().max_seq() >
-        static_cast<Seq>(state.broadcasts_done)) {
-      report("I3", who.str() + " INFO contains seq " +
-                       std::to_string(node.state().info().max_seq()) +
-                       " but only " + std::to_string(state.broadcasts_done) +
-                       " were generated");
-    }
-    // I4: delivered set == INFO contents.
-    if (node.deliveries().size() != node.state().info().count()) {
-      report("I4", who.str() + " delivered " +
-                       std::to_string(node.deliveries().size()) +
-                       " distinct messages but INFO holds " +
-                       std::to_string(node.state().info().count()));
-    }
-    // I5: sane parent pointer.
-    if (node.state().parent() == node.self()) {
-      report("I5", who.str() + " is its own parent");
-    }
+    report(inv::kExactlyOnce,
+           inv::check_exactly_once(node.self(), node.deliveries()));
+    report(inv::kIntegrity,
+           inv::check_integrity(node.self(), node.delivered_bodies(),
+                                state.bodies));
+    report(inv::kNoInvention,
+           inv::check_no_invention(node.self(), node.state().info().max_seq(),
+                                   static_cast<Seq>(state.broadcasts_done)));
+    report(inv::kInfoConsistency,
+           inv::check_info_consistency(node.self(), node.deliveries().size(),
+                                       node.state().info().count()));
+    report(inv::kSaneParent,
+           inv::check_sane_parent(node.self(), node.state().parent()));
   }
 }
 

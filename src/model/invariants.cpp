@@ -1,0 +1,64 @@
+#include "model/invariants.h"
+
+#include <sstream>
+
+namespace rbcast::model::invariants {
+
+std::optional<std::string> check_exactly_once(
+    HostId self, const std::map<Seq, int>& deliveries) {
+  for (const auto& [seq, count] : deliveries) {
+    if (count > 1) {
+      std::ostringstream os;
+      os << self << " delivered message " << seq << " " << count << " times";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_integrity(
+    HostId self, const std::map<Seq, std::string>& delivered,
+    const std::vector<std::string>& source_bodies) {
+  for (const auto& [seq, body] : delivered) {
+    if (seq == 0 || seq > source_bodies.size() ||
+        source_bodies[static_cast<std::size_t>(seq - 1)] != body) {
+      std::ostringstream os;
+      os << self << " delivered a corrupted body for message " << seq;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_no_invention(HostId self, Seq info_max_seq,
+                                              Seq broadcasts_done) {
+  if (info_max_seq > broadcasts_done) {
+    std::ostringstream os;
+    os << self << " INFO contains seq " << info_max_seq << " but only "
+       << broadcasts_done << " were generated";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_info_consistency(
+    HostId self, std::size_t distinct_deliveries, std::uint64_t info_count) {
+  if (distinct_deliveries != info_count) {
+    std::ostringstream os;
+    os << self << " delivered " << distinct_deliveries
+       << " distinct messages but INFO holds " << info_count;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_sane_parent(HostId self, HostId parent) {
+  if (parent == self) {
+    std::ostringstream os;
+    os << self << " is its own parent";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbcast::model::invariants

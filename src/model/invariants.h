@@ -1,0 +1,57 @@
+// The safety invariants I1-I5, as predicates shared between the bounded
+// model checker (src/model/checker.*) and the runtime invariant monitor
+// (src/harness/invariant_monitor.*).
+//
+// Both callers project their state into the plain arguments below, so the
+// definition of "exactly-once", "integrity", "no invention", "INFO
+// consistency" and "sane parents" is written down exactly once. A predicate
+// returns a human-readable description of the violation, or nullopt when
+// the invariant holds.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/seq_set.h"
+
+namespace rbcast::model::invariants {
+
+using Seq = util::Seq;
+
+// Stable invariant identifiers, used in violation reports, repro files and
+// the DESIGN.md §10 mapping.
+inline constexpr const char* kExactlyOnce = "I1";
+inline constexpr const char* kIntegrity = "I2";
+inline constexpr const char* kNoInvention = "I3";
+inline constexpr const char* kInfoConsistency = "I4";
+inline constexpr const char* kSaneParent = "I5";
+
+// I1 exactly-once: no application delivers any message twice.
+// `deliveries` maps seq -> number of application deliveries at `self`.
+[[nodiscard]] std::optional<std::string> check_exactly_once(
+    HostId self, const std::map<Seq, int>& deliveries);
+
+// I2 integrity: every delivered body equals what the source sent.
+// `source_bodies[q-1]` is the body of message q; `delivered` maps
+// seq -> body as handed to the application at `self`.
+[[nodiscard]] std::optional<std::string> check_integrity(
+    HostId self, const std::map<Seq, std::string>& delivered,
+    const std::vector<std::string>& source_bodies);
+
+// I3 no invention: no INFO set contains a sequence number the source has
+// not generated.
+[[nodiscard]] std::optional<std::string> check_no_invention(
+    HostId self, Seq info_max_seq, Seq broadcasts_done);
+
+// I4 consistency: a host's delivered set equals its INFO set.
+[[nodiscard]] std::optional<std::string> check_info_consistency(
+    HostId self, std::size_t distinct_deliveries, std::uint64_t info_count);
+
+// I5 sane parents: no host is its own parent.
+[[nodiscard]] std::optional<std::string> check_sane_parent(HostId self,
+                                                           HostId parent);
+
+}  // namespace rbcast::model::invariants

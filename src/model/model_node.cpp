@@ -34,7 +34,8 @@ std::string ModelMessage::describe() const {
 }
 
 ModelNode::ModelNode(HostId self, const ModelConfig& config)
-    : state_(self, make_hosts(config.hosts)), source_(config.source) {}
+    : state_(self, make_hosts(config.hosts), config.source),
+      source_(config.source) {}
 
 ModelMessage ModelNode::make(HostId to, ProtocolMessage m) const {
   return ModelMessage{self(), to, std::move(m)};

@@ -6,20 +6,46 @@
 namespace rbcast::net {
 
 FaultPlan::FaultPlan(sim::Simulator& simulator, Network& network)
-    : simulator_(simulator), network_(network) {}
+    : simulator_(simulator),
+      network_(network),
+      holds_(network.topology().link_count(), 0) {}
 
-void FaultPlan::link_down_at(sim::TimePoint t, LinkId link) {
-  simulator_.at(t, [this, link] {
+int FaultPlan::holds(LinkId link) const {
+  RBCAST_CHECK_ARG(link.valid() &&
+                       static_cast<std::size_t>(link.value) < holds_.size(),
+                   "unknown link");
+  return holds_[static_cast<std::size_t>(link.value)];
+}
+
+void FaultPlan::acquire(LinkId link) {
+  int& depth = holds_[static_cast<std::size_t>(link.value)];
+  if (++depth == 1) {
     RBCAST_INFO("fault: " << link << " down");
     network_.set_link_up(link, false);
-  });
+  }
+}
+
+void FaultPlan::release(LinkId link) {
+  int& depth = holds_[static_cast<std::size_t>(link.value)];
+  if (depth == 0) return;  // unpaired repair of an operational link
+  if (--depth == 0) {
+    RBCAST_INFO("fault: " << link << " up");
+    network_.set_link_up(link, true);
+  }
+}
+
+void FaultPlan::link_down_at(sim::TimePoint t, LinkId link) {
+  RBCAST_CHECK_ARG(link.valid() &&
+                       static_cast<std::size_t>(link.value) < holds_.size(),
+                   "unknown link");
+  simulator_.at(t, [this, link] { acquire(link); });
 }
 
 void FaultPlan::link_up_at(sim::TimePoint t, LinkId link) {
-  simulator_.at(t, [this, link] {
-    RBCAST_INFO("fault: " << link << " up");
-    network_.set_link_up(link, true);
-  });
+  RBCAST_CHECK_ARG(link.valid() &&
+                       static_cast<std::size_t>(link.value) < holds_.size(),
+                   "unknown link");
+  simulator_.at(t, [this, link] { release(link); });
 }
 
 void FaultPlan::outage_window(LinkId link, sim::TimePoint from,
@@ -62,16 +88,21 @@ void FaultPlan::flap_next(std::size_t flapper_index, bool currently_up) {
                                      sim::to_seconds(mean))));
   const sim::TimePoint next = simulator_.now() + phase;
   if (next >= f.until) {
-    // End of the flapping schedule: leave the link up so the scenario can
-    // quiesce deterministically.
-    simulator_.at(f.until, [this, link = f.link] {
-      network_.set_link_up(link, true);
-    });
+    // End of the flapping schedule: release the hold of an unfinished
+    // down-phase so the scenario can quiesce deterministically. (In an
+    // up-phase there is nothing to release.)
+    if (!currently_up) {
+      simulator_.at(f.until, [this, link = f.link] { release(link); });
+    }
     return;
   }
   simulator_.at(next, [this, flapper_index, currently_up] {
     Flapper& g = flappers_[flapper_index];
-    network_.set_link_up(g.link, !currently_up);
+    if (currently_up) {
+      acquire(g.link);
+    } else {
+      release(g.link);
+    }
     flap_next(flapper_index, !currently_up);
   });
 }

@@ -5,6 +5,13 @@
 // access link (Section 2). FaultPlan schedules exactly these events on the
 // simulator: one-shot windows, permanent failures, network partitions and
 // random flapping.
+//
+// Overlap semantics: link-down state is a per-link *hold count*. Every
+// down transition acquires a hold, every up transition releases one, and
+// the link is operational iff no holds remain. This makes overlapping and
+// nested fault windows compose correctly — the `link_up_at` scheduled by a
+// short outage window cannot resurrect a link that a longer, later window
+// (or an active flapping down-phase) still holds down.
 #pragma once
 
 #include <vector>
@@ -22,10 +29,16 @@ class FaultPlan {
 
   // --- one-shot events ------------------------------------------------
 
+  // Acquires a down-hold on `link` at `t` (the link goes down if it was
+  // up). Pair with link_up_at to schedule a repair; unpaired, this is a
+  // permanent failure.
   void link_down_at(sim::TimePoint t, LinkId link);
+  // Releases one down-hold on `link` at `t`; the link comes back up when
+  // the last hold is released. Releasing with no hold outstanding is a
+  // no-op (the link is already up).
   void link_up_at(sim::TimePoint t, LinkId link);
 
-  // Link is down during [from, to), up again at `to`.
+  // Link is held down during [from, to), released at `to`.
   void outage_window(LinkId link, sim::TimePoint from, sim::TimePoint to);
 
   // Simulates a crash of `host` during [from, to) by failing its access
@@ -42,9 +55,15 @@ class FaultPlan {
   // Each listed link alternates between up-phases (exponential, mean
   // `mean_up`) and down-phases (exponential, mean `mean_down`), starting
   // up, until `until`. Each link gets an independent stream from `rngs`.
+  // Down-phases hold the link down through the same hold counter as the
+  // windows above, so flapping composes with concurrent outage windows.
   void flapping(const std::vector<LinkId>& links, sim::Duration mean_up,
                 sim::Duration mean_down, sim::TimePoint until,
                 const util::RngFactory& rngs);
+
+  // Outstanding down-holds on `link` right now (0 = operational unless
+  // something else took it down). Exposed for tests.
+  [[nodiscard]] int holds(LinkId link) const;
 
   // All expensive trunks that connect different ground-truth clusters of
   // `wan_clusters` — the natural cut set for partition experiments.
@@ -61,10 +80,14 @@ class FaultPlan {
   };
 
   void flap_next(std::size_t flapper_index, bool currently_up);
+  void acquire(LinkId link);
+  void release(LinkId link);
 
   sim::Simulator& simulator_;
   Network& network_;
   std::vector<Flapper> flappers_;
+  // Down-hold depth per link, indexed by LinkId value.
+  std::vector<int> holds_;
 };
 
 }  // namespace rbcast::net

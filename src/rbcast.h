@@ -26,9 +26,12 @@
 #include "core/messages.h"
 #include "core/multi_source.h"
 #include "core/ordered_delivery.h"
+#include "harness/chaos.h"
 #include "harness/experiment.h"
+#include "harness/invariant_monitor.h"
 #include "harness/workload.h"
 #include "model/checker.h"
+#include "model/invariants.h"
 #include "model/model_node.h"
 #include "net/fault_plan.h"
 #include "net/link.h"

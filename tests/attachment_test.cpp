@@ -118,6 +118,23 @@ TEST(Attachment, OptionII2ConsolidatesEqualLeadersByOrder) {
   EXPECT_EQ(d.candidate, HostId{1});
 }
 
+TEST(Attachment, OptionII2ConsolidatesUnderSourceDespiteLowerId) {
+  // Chaos-harness regression: host 1 is a second leader in the source's
+  // cluster with a fully caught-up INFO set. Host 0 (the source, never
+  // attaches, lower id) must still win option (2) — the order promotes the
+  // source to the maximum — or two leaders would persist through
+  // quiescence and the parent graph never converges to a cluster tree.
+  HostState s(HostId{1}, hosts(4), HostId{0});
+  s.set_cluster({HostId{0}, HostId{1}});
+  s.set_parent(HostId{3});  // out-of-cluster parent: case II
+  s.record_message(1, "b");
+  s.learn_info(HostId{0}, SeqSet::contiguous(1));  // source, equal max
+  s.learn_info(HostId{3}, SeqSet::contiguous(1));
+  const auto d = run_attachment(s, kNoExclusions);
+  EXPECT_EQ(d.rule, "II.2");
+  EXPECT_EQ(d.candidate, HostId{0});
+}
+
 TEST(Attachment, OptionII3SwitchesToPrompterParent) {
   HostState s = make_state(0, 4);
   s.set_parent(HostId{2});  // out-of-cluster (cluster is just self)

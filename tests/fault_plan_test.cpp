@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "harness/experiment.h"
 #include "topo/generators.h"
 
 namespace rbcast::net {
@@ -96,6 +99,114 @@ TEST(FaultPlan, FlappingRejectsNonPositiveMeans) {
   EXPECT_THROW(f.faults->flapping({f.wan.trunks[0]}, 0, sim::seconds(1),
                                   sim::seconds(10), f.rngs),
                std::invalid_argument);
+}
+
+// Regression: an `link_up_at` scheduled by an earlier outage window used
+// to fire inside a later, longer window on the same link and resurrect it
+// mid-outage. With per-link hold counts the link stays down until the last
+// window releases it.
+TEST(FaultPlan, OverlappingWindowsDoNotResurrectLink) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->outage_window(trunk, sim::seconds(1), sim::seconds(4));
+  f.faults->outage_window(trunk, sim::seconds(2), sim::seconds(10));
+
+  f.sim.run_until(sim::seconds(3));
+  EXPECT_FALSE(f.network->link_up(trunk));
+  EXPECT_EQ(f.faults->holds(trunk), 2);
+  // The first window's up-event at t=4 must not bring the link back.
+  f.sim.run_until(sim::seconds(5));
+  EXPECT_FALSE(f.network->link_up(trunk));
+  EXPECT_EQ(f.faults->holds(trunk), 1);
+  f.sim.run_until(sim::seconds(11));
+  EXPECT_TRUE(f.network->link_up(trunk));
+  EXPECT_EQ(f.faults->holds(trunk), 0);
+}
+
+TEST(FaultPlan, NestedWindowsKeepLinkDownForOuterWindow) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->outage_window(trunk, sim::seconds(1), sim::seconds(10));
+  f.faults->outage_window(trunk, sim::seconds(3), sim::seconds(5));
+
+  for (int t = 2; t <= 9; ++t) {
+    f.sim.run_until(sim::seconds(t));
+    EXPECT_FALSE(f.network->link_up(trunk)) << "t=" << t;
+  }
+  f.sim.run_until(sim::seconds(11));
+  EXPECT_TRUE(f.network->link_up(trunk));
+}
+
+TEST(FaultPlan, PermanentFailureSurvivesNestedWindow) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->link_down_at(sim::seconds(1), trunk);  // permanent failure
+  f.faults->outage_window(trunk, sim::seconds(2), sim::seconds(4));
+
+  f.sim.run_until(sim::seconds(5));
+  EXPECT_FALSE(f.network->link_up(trunk));  // still failed after the window
+  f.faults->link_up_at(sim::seconds(6), trunk);  // explicit repair
+  f.sim.run_until(sim::seconds(7));
+  EXPECT_TRUE(f.network->link_up(trunk));
+}
+
+TEST(FaultPlan, UnpairedRepairIsANoOp) {
+  Fixture f;
+  const LinkId trunk = f.wan.trunks[0];
+  f.faults->link_up_at(sim::seconds(1), trunk);
+  f.sim.run_until(sim::seconds(2));
+  EXPECT_TRUE(f.network->link_up(trunk));
+  EXPECT_EQ(f.faults->holds(trunk), 0);
+}
+
+// Same seed + topology => byte-identical protocol event logs across two
+// independent flapping runs (the fault schedule is part of the
+// determinism contract).
+TEST(FaultPlan, FlappingScheduleIsDeterministic) {
+  auto run_digest = [](std::uint64_t seed) {
+    topo::ClusteredWanOptions wan;
+    wan.clusters = 3;
+    wan.hosts_per_cluster = 2;
+    wan.shape = topo::TrunkShape::kRing;
+    wan.seed = seed;
+    const auto built = make_clustered_wan(wan);
+
+    harness::ScenarioOptions options;
+    options.seed = seed;
+    harness::Experiment e(built.topology, options);
+    e.faults().flapping(built.trunks, sim::seconds(6), sim::seconds(3),
+                        sim::seconds(50), e.rngs());
+    e.start();
+    e.broadcast_stream(6, sim::seconds(1), sim::seconds(1));
+    e.run_until(sim::seconds(90));
+    return e.events().digest();
+  };
+  EXPECT_EQ(run_digest(9), run_digest(9));
+  // And a different seed produces a different schedule (sanity that the
+  // digest actually depends on the run).
+  EXPECT_NE(run_digest(9), run_digest(10));
+}
+
+// Per-link RNG streams must actually decorrelate flap phases: two links
+// flapped with identical means must not toggle in lock-step.
+TEST(FaultPlan, FlappingStreamsDecorrelateAcrossLinks) {
+  Fixture f({.clusters = 3, .hosts_per_cluster = 1,
+             .shape = topo::TrunkShape::kRing});
+  ASSERT_GE(f.wan.trunks.size(), 2u);
+  f.faults->flapping(f.wan.trunks, sim::seconds(4), sim::seconds(4),
+                     sim::seconds(120), f.rngs);
+
+  std::string phases_a;
+  std::string phases_b;
+  for (int t = 1; t <= 119; ++t) {
+    f.sim.run_until(sim::seconds(t));
+    phases_a += f.network->link_up(f.wan.trunks[0]) ? '1' : '0';
+    phases_b += f.network->link_up(f.wan.trunks[1]) ? '1' : '0';
+  }
+  EXPECT_NE(phases_a, phases_b);
+  // Both links actually flapped (saw both states).
+  EXPECT_NE(phases_a.find('0'), std::string::npos);
+  EXPECT_NE(phases_a.find('1'), std::string::npos);
 }
 
 TEST(FaultPlan, TrunksIncidentToFindsAllTrunks) {

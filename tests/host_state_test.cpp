@@ -174,8 +174,12 @@ TEST(HostState, PruneDropsBodiesButKeepsContainment) {
   EXPECT_EQ(s.info().max_seq(), 10u);
 }
 
-TEST(HostState, OrderIsHostIdValue) {
-  EXPECT_LT(HostState::order(HostId{1}), HostState::order(HostId{5}));
+TEST(HostState, OrderIsHostIdValueWithSourcePromotedToMaximum) {
+  HostState s(HostId{0}, hosts(6), HostId{2});
+  EXPECT_LT(s.order(HostId{1}), s.order(HostId{5}));
+  // The broadcast source outranks every peer: leader consolidation
+  // (attachment option (2)) must converge toward the permanent root.
+  EXPECT_LT(s.order(HostId{5}), s.order(HostId{2}));
 }
 
 TEST(HostState, RejectsSelfNotInAllHosts) {

@@ -38,7 +38,13 @@ TEST(Integration, FaultFreeWanDeliversEverythingExactlyOnce) {
   topo::ClusteredWanOptions wan;
   wan.clusters = 3;
   wan.hosts_per_cluster = 2;
-  Experiment e(make_clustered_wan(wan).topology, paper_options());
+  ScenarioOptions options = paper_options();
+  // Fault-free, so the full monitor (safety + liveness from t=0) applies.
+  options.monitor_invariants = true;
+  options.monitor.orphan_limit = sim::seconds(20);
+  options.monitor.converge_deadline = sim::seconds(30);
+  Experiment e(make_clustered_wan(wan).topology, options);
+  e.monitor()->set_faults_quiet_at(sim::TimePoint{0});
   e.start();
   e.broadcast_stream(10, sim::milliseconds(500), sim::seconds(1));
   const auto done = e.run_until_delivered(sim::seconds(120));
@@ -48,6 +54,12 @@ TEST(Integration, FaultFreeWanDeliversEverythingExactlyOnce) {
   for (HostId h : e.topology().host_ids()) {
     EXPECT_EQ(e.host(h).counters().deliveries, 10u) << h;
   }
+  // Run through the liveness deadlines; the monitor must stay silent.
+  e.run_until(sim::seconds(40));
+  e.monitor()->finish();
+  EXPECT_TRUE(e.monitor()->ok())
+      << e.monitor()->violations()[0].invariant << ": "
+      << e.monitor()->violations()[0].description;
 }
 
 TEST(Integration, SurvivesHeavyLossOnTrunks) {
@@ -129,13 +141,26 @@ TEST(Integration, HostCrashRecoversViaGapFilling) {
   wan.hosts_per_cluster = 3;
   wan.intra_cluster_ring = true;
   const auto built = make_clustered_wan(wan);
-  Experiment e(built.topology, paper_options());
+  ScenarioOptions options = paper_options();
+  options.monitor_invariants = true;
+  options.monitor.orphan_limit = sim::seconds(20);
+  options.monitor.converge_deadline = sim::seconds(30);
+  Experiment e(built.topology, options);
   // Crash a non-source host mid-stream.
   e.faults().host_crash_window(HostId{4}, sim::seconds(5), sim::seconds(20));
+  e.monitor()->set_faults_quiet_at(sim::seconds(22));
   e.start();
   e.broadcast_stream(15, sim::milliseconds(800), sim::seconds(1));
+  e.schedule_broadcast_at(sim::seconds(24));  // liveness anchor
   e.run_until_delivered(sim::seconds(300));
   EXPECT_TRUE(e.all_delivered());
+  // Through the C2/C3 deadlines (anchor 24s): recovery must look healthy
+  // to the monitor, not merely complete.
+  e.run_until(sim::seconds(60));
+  e.monitor()->finish();
+  EXPECT_TRUE(e.monitor()->ok())
+      << e.monitor()->violations()[0].invariant << ": "
+      << e.monitor()->violations()[0].description;
 }
 
 // Engineers the exact Section 4.4 / Figure 4.1 state on the triangle

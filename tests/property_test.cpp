@@ -53,6 +53,9 @@ TEST_P(ProtocolProperties, EventualExactlyOnceDeliveryAndConvergence) {
   ScenarioOptions options;
   options.protocol = fast_config();
   options.seed = p.seed;
+  // The online monitor rides along (safety invariants only — no faults are
+  // declared quiet); it must stay silent across every seed and shape.
+  options.monitor_invariants = true;
   Experiment e(make_clustered_wan(wan).topology, options);
   e.start();
   e.broadcast_stream(8, sim::milliseconds(500), sim::seconds(1));
@@ -80,6 +83,12 @@ TEST_P(ProtocolProperties, EventualExactlyOnceDeliveryAndConvergence) {
     if (!parent.valid()) continue;
     EXPECT_LE(e.host(h).info().max_seq(), e.host(parent).info().max_seq());
   }
+
+  // P5: the online monitor confirmed I1-I5 at every sweep.
+  e.monitor()->finish();
+  EXPECT_TRUE(e.monitor()->ok())
+      << e.monitor()->violations()[0].invariant << ": "
+      << e.monitor()->violations()[0].description;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -142,28 +151,41 @@ TEST_P(CrashRejoin, CrashedHostCatchesUpAfterReboot) {
   ScenarioOptions options;
   options.protocol = fast_config();
   options.seed = seed;
+  // Full monitoring: faults are quiet after the crash window, the t=30
+  // broadcast anchors the liveness clock, and C2/C3 are judged before the
+  // final convergence assertions below.
+  options.monitor_invariants = true;
+  options.monitor.orphan_limit = sim::seconds(30);
+  options.monitor.converge_deadline = sim::seconds(45);
   Experiment e(built.topology, options);
   // Crash a non-source host for most of the stream (its access link dies:
   // the paper's host-crash model, Section 2).
   const HostId victim{4};
   e.faults().host_crash_window(victim, sim::seconds(3), sim::seconds(25));
+  e.monitor()->set_faults_quiet_at(sim::seconds(27));
   e.start();
   e.broadcast_stream(20, sim::seconds(1), sim::seconds(1));
+  e.schedule_broadcast_at(sim::seconds(30));
   e.run_until_delivered(sim::seconds(400));
 
   // P1: the victim eventually holds everything, exactly once.
   EXPECT_TRUE(e.all_delivered());
-  EXPECT_EQ(e.host(victim).counters().deliveries, 20u);
+  EXPECT_EQ(e.host(victim).counters().deliveries, 21u);
   // P2: the rest of the system never stalled on the crash — they were
   // complete well before the victim (sanity: their parent timeouts
   // affected only edges through the victim).
   for (HostId h : e.topology().host_ids()) {
-    EXPECT_EQ(e.host(h).counters().deliveries, 20u) << h;
+    EXPECT_EQ(e.host(h).counters().deliveries, 21u) << h;
   }
-  // P3: the graph re-converges to a proper tree afterwards.
-  e.run_for(sim::seconds(60));
+  // P3: the graph re-converges to a proper tree afterwards, and the
+  // monitor's sweeps (through the C2/C3 deadlines) saw nothing.
+  e.run_until(sim::seconds(90));
   const auto report = e.convergence();
   EXPECT_TRUE(report.tree_rooted_at_source) << report.detail;
+  e.monitor()->finish();
+  EXPECT_TRUE(e.monitor()->ok())
+      << e.monitor()->violations()[0].invariant << ": "
+      << e.monitor()->violations()[0].description;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRejoin,

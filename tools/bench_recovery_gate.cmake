@@ -1,0 +1,25 @@
+# Runs bench_recovery --json and gates it against the committed baseline
+# (BENCH_recovery.json). The metrics are virtual-time results of seeded
+# simulations, so the comparison is exact-by-construction; the 1.1x
+# threshold exists only to tolerate deliberate sub-10% baseline drift
+# during reviewed behavior changes.
+set(current ${WORK_DIR}/bench_recovery_current.json)
+
+execute_process(
+  COMMAND ${BENCH} --json
+  OUTPUT_FILE ${current}
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_recovery --json failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${current} --threshold 1.1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "recovery metrics drifted from BENCH_recovery.json — if intentional, "
+    "regenerate with: ./build/bench/bench_recovery --json > "
+    "BENCH_recovery.json (${rc}):\n${out}${err}")
+endif()
+message(STATUS "bench_recovery gate passed")

@@ -1,0 +1,52 @@
+# End-to-end chaos smoke driven by the chaos_cli_smoke ctest:
+#   1. a batch of seeded scenarios on the default spec must come back clean,
+#   2. the known-bad spec must be caught, shrunk, and written as repro.json,
+#   3. rbcast_sim --chaos-spec must replay the repro to the same violation,
+#      deterministically (two replays, identical output).
+set(out_dir ${WORK_DIR}/chaos_smoke)
+file(MAKE_DIRECTORY ${out_dir})
+
+execute_process(
+  COMMAND ${RBCAST_CHAOS} --runs 8 --seed 1 --out ${out_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "default chaos runs not clean (${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "all 8 chaos runs clean")
+  message(FATAL_ERROR "unexpected rbcast_chaos output:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${RBCAST_CHAOS} --spec ${BAD_SPEC} --runs 1 --seed 1
+          --shrink-attempts 60 --out ${out_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "known-bad spec should exit 1, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "VIOLATION")
+  message(FATAL_ERROR "known-bad spec not flagged:\n${out}")
+endif()
+if(NOT EXISTS ${out_dir}/repro.json OR NOT EXISTS ${out_dir}/repro.jsonl)
+  message(FATAL_ERROR "repro artifacts missing in ${out_dir}")
+endif()
+
+# Violation text can contain semicolons, so plain variables, not lists.
+foreach(attempt first second)
+  execute_process(
+    COMMAND ${RBCAST_SIM} --chaos-spec ${out_dir}/repro.json --chaos-seed 1
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "repro replay should exit 1 (violation), got ${rc}:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "invariant violations:")
+    message(FATAL_ERROR "replay output lacks violations:\n${out}")
+  endif()
+  set(${attempt} "${out}")
+endforeach()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR
+    "replay is not deterministic:\n--- first ---\n${first}\n--- second ---\n${second}")
+endif()
+message(STATUS "chaos smoke passed: ${out_dir}")

@@ -48,7 +48,53 @@ struct CliOptions {
   std::string trace_out;     // JSONL trace file (rbcast_trace reads it)
   std::string chrome_trace;  // Chrome/Perfetto trace_event JSON file
   int sample_period_ms = 1000;  // metric time-series period when tracing
+  std::string chaos_spec;       // replay a chaos spec instead (rbcast_chaos)
+  std::uint64_t chaos_seed = 1;
 };
+
+// Deterministic replay of a chaos reproducer (rbcast_chaos repro.json):
+// re-runs the spec under the invariant monitor and reports the violations.
+// Exit 0 = clean, 1 = violations reproduced.
+int run_chaos_replay(const CliOptions& cli) {
+  harness::ChaosSpec spec;
+  try {
+    spec = harness::load_chaos_spec(cli.chaos_spec);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  std::ofstream trace_file;
+  std::unique_ptr<trace::JsonlSink> jsonl_sink;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << cli.trace_out << " for writing\n";
+      return 2;
+    }
+    jsonl_sink = std::make_unique<trace::JsonlSink>(trace_file);
+  }
+  const harness::ChaosRunResult result =
+      harness::run_chaos(spec, cli.chaos_seed, jsonl_sink.get());
+  if (jsonl_sink != nullptr) {
+    jsonl_sink->close();
+    std::cerr << "wrote " << cli.trace_out << "\n";
+  }
+  std::cout << (cli.csv ? "# " : "") << result.manifest
+            << " chaos_spec=" << cli.chaos_spec
+            << " chaos_seed=" << cli.chaos_seed << "\n";
+  std::cout << "delivered everywhere: " << (result.delivered_all ? "yes" : "NO")
+            << "  completion: " << result.completion_s << "s\n";
+  if (!result.violated()) {
+    std::cout << "invariants: all hold\n";
+    return 0;
+  }
+  std::cout << "invariant violations:\n";
+  for (const auto& v : result.violations) {
+    std::cout << "  [" << v.invariant << "] t=" << sim::to_seconds(v.at)
+              << "s: " << v.description << "\n";
+  }
+  return 1;
+}
 
 void usage() {
   std::cout <<
@@ -83,6 +129,10 @@ void usage() {
       "                     (default 1000; 0 disables sampling)\n"
       "  --seed N           experiment seed (default 1)\n"
       "  --deadline T       give up after T virtual seconds (default 600)\n"
+      "  --chaos-spec F     replay a chaos spec/reproducer under the\n"
+      "                     invariant monitor (ignores topology/workload\n"
+      "                     flags; exit 1 if violations reproduce)\n"
+      "  --chaos-seed N     seed for --chaos-spec (default 1)\n"
       "  --csv              machine-readable output\n"
       "  --verbose          protocol event log on stderr\n"
       "  --help             this text\n";
@@ -190,6 +240,12 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--seed") {
       if ((value = need_value(i)) == nullptr) return false;
       options.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--chaos-spec") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.chaos_spec = value;
+    } else if (arg == "--chaos-seed") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.chaos_seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--partition-at") {
       if ((value = need_value(i)) == nullptr) return false;
       options.partition_at = std::atof(value);
@@ -228,6 +284,8 @@ int main(int argc, char** argv) {
   if (cli.verbose) {
     util::Logger::instance().set_level(util::LogLevel::kInfo);
   }
+
+  if (!cli.chaos_spec.empty()) return run_chaos_replay(cli);
 
   topo::Topology topology;
   std::vector<LinkId> trunks;
