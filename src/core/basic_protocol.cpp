@@ -21,24 +21,24 @@ const char* kind_of(const BasicMessage& m) {
   return std::holds_alternative<BasicData>(m) ? "data" : "ack";
 }
 
-BasicSource::BasicSource(sim::Simulator& simulator,
+BasicSource::BasicSource(util::Scheduler& scheduler,
                          net::HostEndpoint& endpoint,
                          std::vector<HostId> all_hosts, BasicConfig config,
                          util::Rng rng)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       endpoint_(endpoint),
       config_(config),
       rng_(rng) {
   for (HostId h : all_hosts) {
     if (h != endpoint_.self()) destinations_.push_back(h);
   }
-  retransmit_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.retransmit_period, [this] { retransmit_round(); });
+  retransmit_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.retransmit_period, [this] { retransmit_round(); });
 }
 
 void BasicSource::start() {
   retransmit_task_->start(
-      rng_.uniform_int(0, std::max<sim::Duration>(config_.retransmit_period - 1, 0)));
+      rng_.uniform_int(0, std::max<util::Duration>(config_.retransmit_period - 1, 0)));
 }
 
 Seq BasicSource::broadcast(std::string body) {

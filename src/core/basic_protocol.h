@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "util/scheduler.h"
 #include "util/rng.h"
 #include "util/seq_set.h"
 
@@ -44,7 +44,7 @@ using BasicMessage = std::variant<BasicData, BasicAck>;
 
 struct BasicConfig {
   // How often unacknowledged (host, seq) pairs are retransmitted.
-  sim::Duration retransmit_period{sim::seconds(2)};
+  util::Duration retransmit_period{util::seconds(2)};
   // Retransmissions per round are unbounded by default, like the naive
   // algorithm; a cap can model a politer sender.
   std::size_t retransmit_burst{SIZE_MAX};
@@ -53,7 +53,7 @@ struct BasicConfig {
 // The source role of the basic algorithm.
 class BasicSource {
  public:
-  BasicSource(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+  BasicSource(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
               std::vector<HostId> all_hosts, BasicConfig config,
               util::Rng rng);
 
@@ -81,7 +81,7 @@ class BasicSource {
  private:
   void retransmit_round();
 
-  sim::Simulator& simulator_;
+  util::Scheduler& scheduler_;
   net::HostEndpoint& endpoint_;
   std::vector<HostId> destinations_;  // all hosts except self
   BasicConfig config_;
@@ -92,7 +92,7 @@ class BasicSource {
   // unacked_[seq] = destinations that have not acknowledged seq yet.
   std::map<Seq, std::set<HostId>> unacked_;
   Counters counters_;
-  std::unique_ptr<sim::PeriodicTask> retransmit_task_;
+  std::unique_ptr<util::PeriodicTask> retransmit_task_;
 };
 
 // The receiver role: acknowledge everything, deliver each message once.

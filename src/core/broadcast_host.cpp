@@ -8,11 +8,11 @@
 
 namespace rbcast::core {
 
-BroadcastHost::BroadcastHost(sim::Simulator& simulator,
+BroadcastHost::BroadcastHost(util::Scheduler& scheduler,
                              net::HostEndpoint& endpoint, HostId source,
                              std::vector<HostId> all_hosts, Config config,
                              util::Rng rng, AppDeliverFn app_deliver)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       endpoint_(endpoint),
       source_(source),
       config_(std::move(config)),
@@ -21,30 +21,30 @@ BroadcastHost::BroadcastHost(sim::Simulator& simulator,
       app_deliver_(std::move(app_deliver)) {
   RBCAST_CHECK_ARG(source.valid(), "invalid source id");
 
-  attach_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.attach_period, [this] { attachment_round(); });
-  info_intra_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.info_period_intra, [this] { info_round_intra(); });
-  info_inter_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.info_period_inter, [this] { info_round_inter(); });
-  gapfill_neighbor_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.gapfill_period_neighbor,
+  attach_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.attach_period, [this] { attachment_round(); });
+  info_intra_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.info_period_intra, [this] { info_round_intra(); });
+  info_inter_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.info_period_inter, [this] { info_round_inter(); });
+  gapfill_neighbor_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.gapfill_period_neighbor,
       [this] { gapfill_round_neighbor(); });
-  gapfill_far_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.gapfill_period_far, [this] { gapfill_round_far(); });
+  gapfill_far_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.gapfill_period_far, [this] { gapfill_round_far(); });
   // Maintenance must run well inside the shortest timeout it enforces.
-  const sim::Duration maintenance_period = std::max<sim::Duration>(
-      sim::milliseconds(100),
+  const util::Duration maintenance_period = std::max<util::Duration>(
+      util::milliseconds(100),
       std::min(config_.parent_timeout, config_.child_timeout) / 4);
-  maintenance_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, maintenance_period, [this] { maintenance_round(); });
+  maintenance_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, maintenance_period, [this] { maintenance_round(); });
 }
 
 void BroadcastHost::start() {
   // Jitter first activations so hosts do not act in lock-step; each task
   // starts somewhere inside its own first period.
-  auto phase = [this](sim::Duration period) {
-    return rng_.uniform_int(0, std::max<sim::Duration>(period - 1, 0));
+  auto phase = [this](util::Duration period) {
+    return rng_.uniform_int(0, std::max<util::Duration>(period - 1, 0));
   };
   attach_task_->start(phase(config_.attach_period));
   info_intra_task_->start(phase(config_.info_period_intra));
@@ -52,7 +52,7 @@ void BroadcastHost::start() {
   gapfill_neighbor_task_->start(phase(config_.gapfill_period_neighbor));
   gapfill_far_task_->start(phase(config_.gapfill_period_far));
   maintenance_task_->start(phase(maintenance_task_->period()));
-  last_parent_heard_ = simulator_.now();
+  last_parent_heard_ = scheduler_.now();
 }
 
 Seq BroadcastHost::broadcast(std::string body) {
@@ -90,8 +90,8 @@ void BroadcastHost::on_delivery(const net::Delivery& delivery) {
   if (config_.cluster_knowledge == Config::ClusterKnowledge::kDynamic) {
     state_.update_cluster_from_cost_bit(from, delivery.expensive);
   }
-  last_heard_[from] = simulator_.now();
-  if (from == state_.parent()) last_parent_heard_ = simulator_.now();
+  last_heard_[from] = scheduler_.now();
+  if (from == state_.parent()) last_parent_heard_ = scheduler_.now();
 
   std::visit(
       [&](const auto& m) {
@@ -224,14 +224,14 @@ void BroadcastHost::handle_attach_accept(HostId from, const AttachAccept& m) {
   state_.learn_parent(from, m.parent);
 
   if (pending_attach_ == from) {
-    simulator_.cancel(attach_timer_);
-    attach_timer_ = sim::EventId{};
+    scheduler_.cancel(attach_timer_);
+    attach_timer_ = util::EventId{};
     pending_attach_ = kNoHost;
 
     const HostId old_parent = state_.parent();
     state_.set_parent(from);
     state_.remove_child(from);  // a host cannot be both parent and child
-    last_parent_heard_ = simulator_.now();
+    last_parent_heard_ = scheduler_.now();
     consecutive_attach_timeouts_ = 0;  // contact: immediate retries re-armed
     ++counters_.attaches_completed;
     if (observer_ != nullptr) observer_->on_attached(self(), from);
@@ -254,7 +254,7 @@ void BroadcastHost::handle_detach(HostId from) { state_.remove_child(from); }
 
 std::set<HostId> BroadcastHost::current_exclusions() {
   std::set<HostId> excluded;
-  const sim::TimePoint now = simulator_.now();
+  const util::TimePoint now = scheduler_.now();
   std::erase_if(failed_candidates_,
                 [now](const auto& kv) { return kv.second <= now; });
   for (const auto& [host, until] : failed_candidates_) excluded.insert(host);
@@ -297,7 +297,7 @@ void BroadcastHost::begin_attach(HostId candidate, const std::string& rule) {
     observer_->on_attach_requested(self(), candidate, rule);
   }
   send_message(candidate, AttachRequest{state_.info()});
-  attach_timer_ = simulator_.after(
+  attach_timer_ = scheduler_.after(
       config_.attach_ack_timeout,
       [this, candidate] { on_attach_timeout(candidate); });
 }
@@ -305,7 +305,7 @@ void BroadcastHost::begin_attach(HostId candidate, const std::string& rule) {
 void BroadcastHost::on_attach_timeout(HostId candidate) {
   if (pending_attach_ != candidate) return;  // accept raced the timer
   pending_attach_ = kNoHost;
-  attach_timer_ = sim::EventId{};
+  attach_timer_ = util::EventId{};
   ++counters_.attach_timeouts;
   if (observer_ != nullptr) observer_->on_attach_timeout(self(), candidate);
   // "If the acknowledgment to this message times out, the procedure is
@@ -318,7 +318,7 @@ void BroadcastHost::on_attach_timeout(HostId candidate) {
   // `attach_retry_burst` consecutive timeouts the retries fall back to the
   // periodic attachment timer.
   failed_candidates_[candidate] =
-      simulator_.now() + 4 * config_.attach_period;
+      scheduler_.now() + 4 * config_.attach_period;
   ++consecutive_attach_timeouts_;
   if (consecutive_attach_timeouts_ <= config_.attach_retry_burst) {
     attachment_round();
@@ -408,7 +408,7 @@ void BroadcastHost::gapfill_round_far() {
 }
 
 void BroadcastHost::maintenance_round() {
-  const sim::TimePoint now = simulator_.now();
+  const util::TimePoint now = scheduler_.now();
 
   // Parent liveness: "time out on a parent that fails to send messages
   // such as the ones containing its INFO set ... the host sets its parent
@@ -425,7 +425,7 @@ void BroadcastHost::maintenance_round() {
   std::vector<HostId> stale;
   for (HostId child : state_.children()) {
     auto it = last_heard_.find(child);
-    const sim::TimePoint heard = it != last_heard_.end() ? it->second : 0;
+    const util::TimePoint heard = it != last_heard_.end() ? it->second : 0;
     if (now - heard > config_.child_timeout) stale.push_back(child);
   }
   for (HostId child : stale) state_.remove_child(child);
@@ -479,7 +479,7 @@ void BroadcastHost::send_gapfill(HostId to, Seq seq) {
 }
 
 void BroadcastHost::note_offered(HostId to, Seq seq) {
-  offered_[to][seq] = simulator_.now() + config_.gapfill_suppress_period;
+  offered_[to][seq] = scheduler_.now() + config_.gapfill_suppress_period;
 }
 
 void BroadcastHost::clear_refuted_offers(HostId from, const SeqSet& reported) {
@@ -499,7 +499,7 @@ SeqSet BroadcastHost::recent_offers(HostId j) {
   SeqSet live;
   auto host_it = offered_.find(j);
   if (host_it == offered_.end()) return live;
-  const sim::TimePoint now = simulator_.now();
+  const util::TimePoint now = scheduler_.now();
   auto& per_seq = host_it->second;
   for (auto it = per_seq.begin(); it != per_seq.end();) {
     if (it->second <= now) {

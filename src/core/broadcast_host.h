@@ -26,7 +26,7 @@
 #include "core/messages.h"
 #include "core/protocol_observer.h"
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "util/scheduler.h"
 #include "util/rng.h"
 
 namespace rbcast::core {
@@ -38,7 +38,7 @@ class BroadcastHost {
 
   // `endpoint` must outlive this object. `rng` drives only phase jitter of
   // the periodic tasks (so hosts do not act in lock-step).
-  BroadcastHost(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+  BroadcastHost(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
                 HostId source, std::vector<HostId> all_hosts, Config config,
                 util::Rng rng, AppDeliverFn app_deliver = {});
 
@@ -136,7 +136,7 @@ class BroadcastHost {
                       HostId from);
   [[nodiscard]] std::set<HostId> current_exclusions();
 
-  sim::Simulator& simulator_;
+  util::Scheduler& scheduler_;
   net::HostEndpoint& endpoint_;
   HostId source_;
   Config config_;
@@ -149,7 +149,7 @@ class BroadcastHost {
 
   // Attach handshake in flight.
   HostId pending_attach_{kNoHost};
-  sim::EventId attach_timer_{};
+  util::EventId attach_timer_{};
   // Timeouts since the last completed handshake; once past
   // Config::attach_retry_burst, retries wait for the periodic timer.
   std::size_t consecutive_attach_timeouts_{0};
@@ -157,25 +157,25 @@ class BroadcastHost {
   // Candidates whose handshake recently timed out, with expiry times.
   // Ordered: current_exclusions() iterates it, and the exclusion order
   // feeds attachment decisions.
-  std::map<HostId, sim::TimePoint> failed_candidates_;
+  std::map<HostId, util::TimePoint> failed_candidates_;
 
   // Liveness bookkeeping.
-  sim::TimePoint last_parent_heard_{0};
-  std::map<HostId, sim::TimePoint> last_heard_;
+  util::TimePoint last_parent_heard_{0};
+  std::map<HostId, util::TimePoint> last_heard_;
 
   // Optimistic offer tracking (duplicate gap-fill suppression): per peer,
   // the expiry time of each outstanding offer. Ordered for determinism.
-  std::map<HostId, std::map<Seq, sim::TimePoint>> offered_;
+  std::map<HostId, std::map<Seq, util::TimePoint>> offered_;
 
   Counters counters_;
 
   // Periodic tasks (declared last: they capture `this` and must die first).
-  std::unique_ptr<sim::PeriodicTask> attach_task_;
-  std::unique_ptr<sim::PeriodicTask> info_intra_task_;
-  std::unique_ptr<sim::PeriodicTask> info_inter_task_;
-  std::unique_ptr<sim::PeriodicTask> gapfill_neighbor_task_;
-  std::unique_ptr<sim::PeriodicTask> gapfill_far_task_;
-  std::unique_ptr<sim::PeriodicTask> maintenance_task_;
+  std::unique_ptr<util::PeriodicTask> attach_task_;
+  std::unique_ptr<util::PeriodicTask> info_intra_task_;
+  std::unique_ptr<util::PeriodicTask> info_inter_task_;
+  std::unique_ptr<util::PeriodicTask> gapfill_neighbor_task_;
+  std::unique_ptr<util::PeriodicTask> gapfill_far_task_;
+  std::unique_ptr<util::PeriodicTask> maintenance_task_;
 };
 
 }  // namespace rbcast::core

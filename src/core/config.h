@@ -9,7 +9,7 @@
 
 #include <cstddef>
 
-#include "sim/time.h"
+#include "util/time.h"
 #include "util/seq_set.h"
 
 namespace rbcast::core {
@@ -19,7 +19,7 @@ struct Config {
 
   // The attachment procedure is "periodically activated at every host"
   // (Section 4.2). "This time period is a parameter of the algorithm."
-  sim::Duration attach_period{sim::seconds(2)};
+  util::Duration attach_period{util::seconds(2)};
 
   // INFO set + parent pointer exchange. "This is done more frequently for
   // the members of the same cluster and less frequently for the members of
@@ -28,25 +28,25 @@ struct Config {
   // Parent-graph neighbors (parent/children) are treated as intra-rate
   // peers regardless of cluster: the parent timeout depends on hearing
   // them routinely.
-  sim::Duration info_period_intra{sim::milliseconds(500)};
-  sim::Duration info_period_inter{sim::seconds(4)};
+  util::Duration info_period_intra{util::milliseconds(500)};
+  util::Duration info_period_inter{util::seconds(4)};
 
   // Periodic gap filling toward parent-graph neighbors (frequent) and
   // toward everyone else — the Section 4.4 non-neighbor extension (rare,
   // "the frequency of this type of gap filling should be relatively low
   // since it operates across cluster boundaries").
-  sim::Duration gapfill_period_neighbor{sim::seconds(1)};
-  sim::Duration gapfill_period_far{sim::seconds(8)};
+  util::Duration gapfill_period_neighbor{util::seconds(1)};
+  util::Duration gapfill_period_far{util::seconds(8)};
 
   // --- timeouts ----------------------------------------------------------
 
   // "time out on a parent that fails to send messages" (Section 4.3); on
   // expiry the parent pointer is set to NIL.
-  sim::Duration parent_timeout{sim::seconds(10)};
+  util::Duration parent_timeout{util::seconds(10)};
 
   // "If the acknowledgment to this [attach request] times out, the
   // procedure is repeated to find another candidate" (Section 4.2).
-  sim::Duration attach_ack_timeout{sim::seconds(1)};
+  util::Duration attach_ack_timeout{util::seconds(1)};
 
   // How many consecutive attach timeouts may trigger an *immediate* retry
   // against the next candidate. The paper's "the procedure is repeated"
@@ -61,7 +61,7 @@ struct Config {
   // Engineering necessity the paper leaves implicit: a parent must
   // eventually forget a child it never hears from, or it would forward
   // data to departed/unreachable children forever.
-  sim::Duration child_timeout{sim::seconds(30)};
+  util::Duration child_timeout{util::seconds(30)};
 
   // --- volume limits ------------------------------------------------------
 
@@ -79,7 +79,7 @@ struct Config {
   // offered again, so a lost gap fill delays redelivery by at most this
   // period. Should span a couple of neighbor gap-fill rounds and stay
   // below gapfill_period_far.
-  sim::Duration gapfill_suppress_period{sim::seconds(3)};
+  util::Duration gapfill_suppress_period{util::seconds(3)};
   // Max messages back-filled immediately when a new child attaches
   // ("the parent ... forwards to the child all those messages that the
   // child is missing"); the periodic filler finishes longer tails.

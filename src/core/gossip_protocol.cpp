@@ -21,11 +21,11 @@ const char* kind_of(const GossipMessage& m) {
   return std::holds_alternative<GossipDigest>(m) ? "gossip_digest" : "data";
 }
 
-GossipNode::GossipNode(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+GossipNode::GossipNode(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
                        HostId source, std::vector<HostId> all_hosts,
                        GossipConfig config, util::Rng rng,
                        AppDeliverFn app_deliver)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       endpoint_(endpoint),
       source_(source),
       config_(config),
@@ -35,13 +35,13 @@ GossipNode::GossipNode(sim::Simulator& simulator, net::HostEndpoint& endpoint,
   for (HostId h : all_hosts) {
     if (h != endpoint_.self()) peers_.push_back(h);
   }
-  round_task_ = std::make_unique<sim::PeriodicTask>(
-      simulator_, config_.gossip_period, [this] { gossip_round(); });
+  round_task_ = std::make_unique<util::PeriodicTask>(
+      scheduler_, config_.gossip_period, [this] { gossip_round(); });
 }
 
 void GossipNode::start() {
   round_task_->start(rng_.uniform_int(
-      0, std::max<sim::Duration>(config_.gossip_period - 1, 0)));
+      0, std::max<util::Duration>(config_.gossip_period - 1, 0)));
 }
 
 Seq GossipNode::broadcast(std::string body) {

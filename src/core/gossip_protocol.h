@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "util/scheduler.h"
 #include "util/rng.h"
 #include "util/seq_set.h"
 
@@ -54,7 +54,7 @@ using GossipMessage = std::variant<GossipDigest, GossipData>;
 
 struct GossipConfig {
   // Anti-entropy round period.
-  sim::Duration gossip_period{sim::seconds(1)};
+  util::Duration gossip_period{util::seconds(1)};
   // Peers contacted per round.
   int fanout{2};
   // Max data messages pushed to one peer per exchange.
@@ -66,7 +66,7 @@ class GossipNode {
  public:
   using AppDeliverFn = std::function<void(Seq, const std::string& body)>;
 
-  GossipNode(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+  GossipNode(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
              HostId source, std::vector<HostId> all_hosts,
              GossipConfig config, util::Rng rng,
              AppDeliverFn app_deliver = {});
@@ -101,7 +101,7 @@ class GossipNode {
   void push_missing(HostId to, const SeqSet& peer_info);
   void send(HostId to, GossipMessage m);
 
-  sim::Simulator& simulator_;
+  util::Scheduler& scheduler_;
   net::HostEndpoint& endpoint_;
   HostId source_;
   std::vector<HostId> peers_;  // everyone but self
@@ -113,7 +113,7 @@ class GossipNode {
   std::map<Seq, std::string> bodies_;
   Seq next_seq_{1};
   Counters counters_;
-  std::unique_ptr<sim::PeriodicTask> round_task_;
+  std::unique_ptr<util::PeriodicTask> round_task_;
 };
 
 }  // namespace rbcast::core

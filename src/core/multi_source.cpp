@@ -17,7 +17,7 @@ void MultiSourceNode::MuxEndpoint::send(HostId to, std::any payload,
              bytes + 4, std::move(kind), trace_id);
 }
 
-MultiSourceNode::MultiSourceNode(sim::Simulator& simulator,
+MultiSourceNode::MultiSourceNode(util::Scheduler& scheduler,
                                  net::HostEndpoint& endpoint,
                                  std::vector<HostId> sources,
                                  std::vector<HostId> all_hosts,
@@ -38,7 +38,7 @@ MultiSourceNode::MultiSourceNode(sim::Simulator& simulator,
       if (app_deliver_) app_deliver_(source, seq, body);
     };
     auto instance = std::make_unique<BroadcastHost>(
-        simulator, *mux, source, all_hosts, config,
+        scheduler, *mux, source, all_hosts, config,
         // Independent jitter stream per (host, stream) pair.
         rngs.stream("msrc.jitter",
                     static_cast<std::int64_t>(endpoint_.self().value) * 4096 +

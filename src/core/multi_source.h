@@ -22,7 +22,7 @@
 #include "core/broadcast_host.h"
 #include "core/config.h"
 #include "net/message.h"
-#include "sim/simulator.h"
+#include "util/scheduler.h"
 #include "util/rng.h"
 
 namespace rbcast::core {
@@ -42,7 +42,7 @@ class MultiSourceNode {
 
   // `sources` lists every broadcast stream in the system (each must be a
   // member of `all_hosts`); a protocol instance is created for each.
-  MultiSourceNode(sim::Simulator& simulator, net::HostEndpoint& endpoint,
+  MultiSourceNode(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
                   std::vector<HostId> sources, std::vector<HostId> all_hosts,
                   const Config& config, const util::RngFactory& rngs,
                   AppDeliverFn app_deliver = {});

@@ -15,9 +15,9 @@ constexpr std::size_t kMinCompactSize = 64;
 EventId EventQueue::schedule(TimePoint t, Action action) {
   RBCAST_ASSERT_MSG(action != nullptr, "null event action");
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{t, seq});
+  heap_.push_back(Entry{t, seq});  // analyze:allow(hot-alloc) amortized heap growth; event pooling is the scale-PR's zero-alloc task
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  actions_.emplace(seq, std::move(action));
+  actions_.emplace(seq, std::move(action));  // analyze:allow(hot-alloc) node-per-event map; replaced by a slab in the zero-alloc event path work
   ++live_;
   RBCAST_PARANOID_ASSERT(actions_.size() == live_);
   RBCAST_PARANOID_ASSERT(heap_.size() >= live_);

@@ -22,14 +22,14 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/scheduler.h"
 
 namespace rbcast::sim {
 
-struct EventId {
-  std::uint64_t value{0};
-  [[nodiscard]] bool valid() const { return value != 0; }
-  friend bool operator==(EventId, EventId) = default;
-};
+// Handle type shared with the abstract util::Scheduler interface that
+// Simulator implements (the protocol layer holds these without seeing the
+// queue).
+using EventId = util::EventId;
 
 class EventQueue {
  public:

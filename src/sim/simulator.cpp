@@ -50,37 +50,4 @@ bool Simulator::step() {
   return true;
 }
 
-PeriodicTask::PeriodicTask(Simulator& simulator, Duration period,
-                           std::function<void()> action)
-    : simulator_(simulator), period_(period), action_(std::move(action)) {
-  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
-  RBCAST_CHECK_ARG(action_ != nullptr, "periodic task needs an action");
-}
-
-PeriodicTask::~PeriodicTask() { stop(); }
-
-void PeriodicTask::start(Duration first_delay) {
-  RBCAST_ASSERT_MSG(!pending_.valid(), "task already running");
-  RBCAST_ASSERT(first_delay >= 0);
-  pending_ = simulator_.after(first_delay, [this] { fire(); });
-}
-
-void PeriodicTask::stop() {
-  if (pending_.valid()) {
-    simulator_.cancel(pending_);
-    pending_ = EventId{};
-  }
-}
-
-void PeriodicTask::set_period(Duration period) {
-  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
-  period_ = period;
-}
-
-void PeriodicTask::fire() {
-  // Reschedule before running the action so the action may stop() us.
-  pending_ = simulator_.after(period_, [this] { fire(); });
-  action_();
-}
-
 }  // namespace rbcast::sim

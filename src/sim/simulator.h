@@ -11,27 +11,31 @@
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "util/scheduler.h"
 
 namespace rbcast::sim {
 
-class Simulator {
+// Implements util::Scheduler (now/after/cancel) so the protocol layer can
+// run on a Simulator without an include edge into sim/. `final` lets calls
+// through a concrete Simulator& devirtualize.
+class Simulator final : public util::Scheduler {
  public:
   Simulator();
-  ~Simulator();
+  ~Simulator() override;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] TimePoint now() const override { return now_; }
 
   // Schedules at an absolute time, which must not be in the past.
   EventId at(TimePoint t, EventQueue::Action action);
 
   // Schedules `d` ticks from now (d >= 0).
-  EventId after(Duration d, EventQueue::Action action);
+  EventId after(Duration d, EventQueue::Action action) override;
 
   // Cancels a pending event; false if it already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) override { return queue_.cancel(id); }
 
   // Runs every event with time <= t, then advances the clock to t.
   void run_until(TimePoint t);
@@ -53,38 +57,9 @@ class Simulator {
   EventQueue queue_;
 };
 
-// A self-rescheduling periodic activity (the paper's "periodically
-// activated" procedures: attachment, INFO exchange, gap filling).
-//
-// The first firing can be offset (jittered) so that hosts do not act in
-// lock-step; after that the task fires every `period` ticks until stopped
-// or destroyed. Destroying the task cancels the pending event (RAII).
-class PeriodicTask {
- public:
-  PeriodicTask(Simulator& simulator, Duration period,
-               std::function<void()> action);
-  ~PeriodicTask();
-
-  PeriodicTask(const PeriodicTask&) = delete;
-  PeriodicTask& operator=(const PeriodicTask&) = delete;
-
-  // Arms the task; the first firing happens `first_delay` from now.
-  void start(Duration first_delay);
-  void stop();
-
-  [[nodiscard]] bool running() const { return pending_.valid(); }
-  [[nodiscard]] Duration period() const { return period_; }
-
-  // Changes the period; takes effect at the next (re)scheduling.
-  void set_period(Duration period);
-
- private:
-  void fire();
-
-  Simulator& simulator_;
-  Duration period_;
-  std::function<void()> action_;
-  EventId pending_{};
-};
+// The self-rescheduling periodic activity wrapper moved to
+// util/scheduler.h with the Scheduler interface; this alias keeps the
+// simulation-side spelling working.
+using PeriodicTask = util::PeriodicTask;
 
 }  // namespace rbcast::sim

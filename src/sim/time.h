@@ -1,33 +1,23 @@
-// Virtual time.
+// Virtual time — re-exported from util/time.h.
 //
-// The simulation uses integer microsecond ticks. Integer time (rather than
-// floating point) makes event ordering exact and runs reproducible across
-// platforms; a microsecond resolves every delay the network model produces
-// (transmission times down to single bytes on multi-megabit links).
+// The definitions moved to src/util/time.h so that src/core can reference
+// time without an include edge into sim/ (the layer DAG enforced by
+// rbcast_analyze forbids core → sim; see DESIGN.md §11). Simulation-side
+// code keeps spelling the names rbcast::sim::TimePoint etc.; they are the
+// same types.
 #pragma once
 
-#include <cstdint>
+#include "util/time.h"
 
 namespace rbcast::sim {
 
-// Absolute virtual time in microseconds since simulation start.
-using TimePoint = std::int64_t;
-// Relative virtual duration in microseconds.
-using Duration = std::int64_t;
+using util::Duration;
+using util::TimePoint;
 
-constexpr Duration microseconds(std::int64_t n) { return n; }
-constexpr Duration milliseconds(std::int64_t n) { return n * 1000; }
-constexpr Duration seconds(std::int64_t n) { return n * 1'000'000; }
-
-// Converts a floating-point second count (e.g. a random exponential draw)
-// to ticks, rounding to the nearest microsecond, never below zero.
-constexpr Duration from_seconds(double s) {
-  const double us = s * 1e6;
-  return us <= 0.0 ? 0 : static_cast<Duration>(us + 0.5);
-}
-
-constexpr double to_seconds(Duration d) {
-  return static_cast<double>(d) / 1e6;
-}
+using util::from_seconds;
+using util::microseconds;
+using util::milliseconds;
+using util::seconds;
+using util::to_seconds;
 
 }  // namespace rbcast::sim

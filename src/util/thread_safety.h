@@ -1,0 +1,47 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The simulator is single-threaded today, so nothing in src/ takes a lock
+// — but the shared-mutable-state census (rbcast_analyze) exists precisely
+// because the sharded parallel-DES work will change that. When a waived
+// census hit grows a mutex, annotate it with these macros so Clang's
+// -Wthread-safety analysis (-DRBCAST_THREAD_SAFETY=ON, Clang only) proves
+// every access holds the right lock:
+//
+//   std::mutex mu_;
+//   int shared_ RBCAST_GUARDED_BY(mu_);
+//   void touch() RBCAST_REQUIRES(mu_);
+//
+// Under GCC (which has no -Wthread-safety) and in plain Clang builds the
+// macros expand to nothing, so annotated code compiles everywhere.
+#pragma once
+
+#if defined(__clang__) && defined(RBCAST_THREAD_SAFETY_ENABLED)
+#define RBCAST_TS_ATTR(x) __attribute__((x))
+#else
+#define RBCAST_TS_ATTR(x)
+#endif
+
+// A mutex-like type (wraps std::mutex or a shard lock).
+#define RBCAST_CAPABILITY(name) RBCAST_TS_ATTR(capability(name))
+
+// Data member readable/writable only while `mu` is held.
+#define RBCAST_GUARDED_BY(mu) RBCAST_TS_ATTR(guarded_by(mu))
+
+// Pointer member whose pointee is guarded by `mu`.
+#define RBCAST_PT_GUARDED_BY(mu) RBCAST_TS_ATTR(pt_guarded_by(mu))
+
+// Function that must be called with `mu` held (respectively not held).
+#define RBCAST_REQUIRES(mu) RBCAST_TS_ATTR(requires_capability(mu))
+#define RBCAST_EXCLUDES(mu) RBCAST_TS_ATTR(locks_excluded(mu))
+
+// Function that acquires/releases `mu` (lock-wrapper methods).
+#define RBCAST_ACQUIRE(mu) RBCAST_TS_ATTR(acquire_capability(mu))
+#define RBCAST_RELEASE(mu) RBCAST_TS_ATTR(release_capability(mu))
+
+// RAII guard types (std::scoped_lock equivalents).
+#define RBCAST_SCOPED_CAPABILITY RBCAST_TS_ATTR(scoped_lockable)
+
+// Escape hatch for code the analysis cannot see through; pair with a
+// comment saying why it is safe.
+#define RBCAST_NO_THREAD_SAFETY_ANALYSIS \
+  RBCAST_TS_ATTR(no_thread_safety_analysis)

@@ -194,6 +194,68 @@ TEST(Engine, FindingsCarryFileAndLine) {
   EXPECT_EQ("raw-random", f[0].rule);
 }
 
+TEST(Engine, RawStringContentsAreNotCode) {
+  // rand() inside a raw string literal is data, not a call — including
+  // when the raw string carries a delimiter or an encoding prefix.
+  EXPECT_FALSE(fires(lint("src/core/good.cpp",
+                          "auto s = R\"(call rand() here)\";\n"),
+                     "raw-random"));
+  EXPECT_FALSE(fires(lint("src/core/good.cpp",
+                          "auto s = R\"x(rand() and )\" srand(1) )x\";\n"),
+                     "raw-random"));
+  EXPECT_FALSE(fires(lint("src/core/good.cpp",
+                          "auto s = u8R\"(std::random_device)\";\n"),
+                     "raw-random"));
+}
+
+TEST(Engine, RawStringTerminatorRespectsDelimiter) {
+  // The payload contains ')"' but the delimiter is 'x', so the literal
+  // ends only at ')x"' — the srand() after it is real code and must fire.
+  const auto f = lint("src/core/bad.cpp",
+                      "auto s = R\"x(not the end: )\" still string)x\";\n"
+                      "srand(7);\n");
+  ASSERT_TRUE(fires(f, "raw-random"));
+  EXPECT_EQ(2, f[0].line);
+}
+
+TEST(Engine, UnterminatedRawStringBlanksToEofWithoutFindings) {
+  EXPECT_TRUE(lint("src/core/odd.cpp",
+                   "auto s = R\"(rand() never closed\n"
+                   "srand(1);\n")
+                  .empty());
+}
+
+TEST(Engine, IdentifierEndingInRIsNotARawStringPrefix) {
+  // "FOOR" ends in R but is an identifier; the following quote opens an
+  // ordinary string. The rand() outside it must still fire.
+  const auto f = lint("src/core/bad.cpp",
+                      "auto s = FOOR\"(text)\";\n"
+                      "int x = rand();\n");
+  ASSERT_TRUE(fires(f, "raw-random"));
+  EXPECT_EQ(2, f[0].line);
+}
+
+TEST(Engine, LineContinuationExtendsLineComment) {
+  // The backslash splices line 2 into the comment on line 1, so that
+  // srand() is commentary; the one on line 3 is code.
+  const auto f = lint("src/core/bad.cpp",
+                      "// spliced comment \\\n"
+                      "srand(1);\n"
+                      "srand(2);\n");
+  ASSERT_EQ(1u, std::count_if(f.begin(), f.end(), [](const Finding& x) {
+              return x.rule == "raw-random";
+            }));
+  EXPECT_EQ(3, f[0].line);
+}
+
+TEST(Engine, DigitSeparatorIsNotACharLiteral) {
+  // 1'000'000 must not open a character literal that would swallow the
+  // rest of the line (and the srand call with it).
+  const auto f = lint("src/core/bad.cpp",
+                      "int big = 1'000'000; srand(big);\n");
+  EXPECT_TRUE(fires(f, "raw-random"));
+}
+
 TEST(Engine, UnorderedIdentifierHarvesting) {
   const auto ids = unordered_identifiers(
       "std::unordered_map<std::uint64_t, Action> actions_;\n"

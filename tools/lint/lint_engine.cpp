@@ -127,6 +127,28 @@ void add(std::vector<Finding>& out, std::string_view path, int line,
 
 }  // namespace
 
+namespace {
+
+// True when the '"' at `quote` opens a raw string literal: it is preceded
+// by R with an optional encoding prefix (u8R", uR", UR", LR") that is not
+// just the tail of a longer identifier (FooR"..." is not raw).
+bool is_raw_string_open(std::string_view source, std::size_t quote) {
+  if (quote == 0 || source[quote - 1] != 'R') return false;
+  std::size_t p = quote - 1;  // index of 'R'
+  if (p >= 2 && source[p - 2] == 'u' && source[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 && (source[p - 1] == 'u' || source[p - 1] == 'U' ||
+                        source[p - 1] == 'L')) {
+    p -= 1;
+  }
+  if (p == 0) return true;
+  const char before = source[p - 1];
+  return !(std::isalnum(static_cast<unsigned char>(before)) ||
+           before == '_');
+}
+
+}  // namespace
+
 std::string strip_comments(std::string_view source) {
   std::string out(source);
   enum class State { kCode, kLine, kBlock, kString, kChar };
@@ -142,15 +164,45 @@ std::string strip_comments(std::string_view source) {
         } else if (c == '/' && next == '*') {
           state = State::kBlock;
           out[i] = ' ';
+        } else if (c == '"' && is_raw_string_open(source, i)) {
+          // Raw string literal R"delim(...)delim": no escapes apply, so
+          // scan for the exact close sequence and blank the payload
+          // (newlines preserved). Unterminated raw strings blank to EOF.
+          std::size_t d = i + 1;
+          while (d < out.size() && out[d] != '(') ++d;
+          const std::string close =
+              ")" + std::string(source.substr(i + 1, d - (i + 1))) + "\"";
+          const std::size_t end = source.find(close, d);
+          const std::size_t stop =
+              end == std::string_view::npos ? out.size()
+                                            : end + close.size();
+          for (std::size_t j = i + 1; j < stop; ++j) {
+            if (out[j] != '\n') out[j] = ' ';
+          }
+          i = stop - 1;  // resume after the closing quote
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'') {
-          state = State::kChar;
+          // A ' between alphanumerics is a digit separator (1'000'000),
+          // not a character literal.
+          const bool separator =
+              i > 0 &&
+              std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (!separator) state = State::kChar;
         }
         break;
       case State::kLine:
-        if (c == '\n') state = State::kCode;
-        else out[i] = ' ';
+        if (c == '\n') {
+          // A backslash immediately before the newline splices the next
+          // line into this comment (phase-2 line continuation).
+          const bool spliced =
+              (i >= 1 && source[i - 1] == '\\') ||
+              (i >= 2 && source[i - 1] == '\r' && source[i - 2] == '\\');
+          if (!spliced) state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
         break;
       case State::kBlock:
         if (c == '*' && next == '/') {

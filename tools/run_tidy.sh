@@ -6,6 +6,9 @@
 # Usage:
 #   tools/run_tidy.sh [build-dir]
 #
+# RBCAST_TIDY selects the binary ("RBCAST_TIDY=clang-tidy-18"); CI pins a
+# version this way so check behavior does not drift with the runner image.
+#
 # The build dir must have a compilation database; any configured preset
 # produces one (CMAKE_EXPORT_COMPILE_COMMANDS is ON globally). If the
 # default dir has none, the script configures it first. Exits 0 with a
@@ -16,10 +19,14 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"$repo_root/build"}"
 
-tidy="$(command -v clang-tidy || true)"
+tidy="${RBCAST_TIDY:-$(command -v clang-tidy || true)}"
 if [[ -z "$tidy" ]]; then
   echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to run the gate)"
   exit 0
+fi
+if ! command -v "$tidy" > /dev/null; then
+  echo "run_tidy.sh: $tidy (RBCAST_TIDY) not found" >&2
+  exit 1
 fi
 
 if [[ ! -f "$build_dir/compile_commands.json" ]]; then
@@ -38,8 +45,10 @@ echo "run_tidy.sh: checking ${#files[@]} translation units"
 runner="$(command -v run-clang-tidy || true)"
 status=0
 if [[ -n "$runner" ]]; then
-  # Parallel runner; -quiet keeps the output to the diagnostics.
-  (cd "$repo_root" && "$runner" -quiet -p "$build_dir" "${files[@]}") || status=$?
+  # Parallel runner; -quiet keeps the output to the diagnostics. The
+  # -clang-tidy-binary flag keeps the runner on the pinned binary.
+  (cd "$repo_root" && "$runner" -quiet -p "$build_dir" \
+      -clang-tidy-binary "$(command -v "$tidy")" "${files[@]}") || status=$?
 else
   for f in "${files[@]}"; do
     (cd "$repo_root" && "$tidy" -quiet -p "$build_dir" "$f") || status=$?
