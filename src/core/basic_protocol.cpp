@@ -38,7 +38,7 @@ BasicSource::BasicSource(util::Scheduler& scheduler,
 
 void BasicSource::start() {
   retransmit_task_->start(
-      rng_.uniform_int(0, std::max<util::Duration>(config_.retransmit_period - 1, 0)));
+      util::phase_jitter(rng_, config_.retransmit_period));
 }
 
 Seq BasicSource::broadcast(std::string body) {

@@ -40,11 +40,31 @@ BroadcastHost::BroadcastHost(util::Scheduler& scheduler,
       scheduler_, maintenance_period, [this] { maintenance_round(); });
 }
 
+BroadcastHost::BroadcastHost(transport::Transport& transport, HostId self,
+                             HostId source, std::vector<HostId> all_hosts,
+                             Config config, util::Rng rng,
+                             AppDeliverFn app_deliver)
+    : BroadcastHost(transport.scheduler(),
+                    transport.attach(self,
+                                     [this](const net::Delivery& d) {
+                                       on_delivery(d);
+                                     }),
+                    source, std::move(all_hosts), std::move(config), rng,
+                    std::move(app_deliver)) {
+  transport_ = &transport;
+}
+
+BroadcastHost::~BroadcastHost() {
+  // Detach before members die so an in-flight delivery can never reach a
+  // half-destroyed host.
+  if (transport_ != nullptr) transport_->detach(self());
+}
+
 void BroadcastHost::start() {
   // Jitter first activations so hosts do not act in lock-step; each task
   // starts somewhere inside its own first period.
   auto phase = [this](util::Duration period) {
-    return rng_.uniform_int(0, std::max<util::Duration>(period - 1, 0));
+    return util::phase_jitter(rng_, period);
   };
   attach_task_->start(phase(config_.attach_period));
   info_intra_task_->start(phase(config_.info_period_intra));
@@ -80,8 +100,13 @@ Seq BroadcastHost::broadcast(std::string body) {
 
 void BroadcastHost::on_delivery(const net::Delivery& delivery) {
   const auto* message = std::any_cast<ProtocolMessage>(&delivery.payload);
-  RBCAST_ASSERT_MSG(message != nullptr,
-                    "BroadcastHost received a foreign payload");
+  if (message == nullptr) {
+    // A payload that failed wire decoding (or a wiring bug in a test):
+    // count and drop before any liveness or cluster bookkeeping — a
+    // malformed datagram must not vouch for its claimed sender.
+    ++counters_.decode_errors;
+    return;
+  }
 
   const HostId from = delivery.from;
   // "This set can be updated when a message (of any kind ...) is received

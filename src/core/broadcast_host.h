@@ -26,6 +26,7 @@
 #include "core/messages.h"
 #include "core/protocol_observer.h"
 #include "net/message.h"
+#include "transport/transport.h"
 #include "util/scheduler.h"
 #include "util/rng.h"
 
@@ -41,6 +42,17 @@ class BroadcastHost {
   BroadcastHost(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
                 HostId source, std::vector<HostId> all_hosts, Config config,
                 util::Rng rng, AppDeliverFn app_deliver = {});
+
+  // Transport-backed construction: attaches `self` to `transport` (which
+  // must outlive this object), wiring on_delivery as the upcall and
+  // running the periodic tasks on the transport's scheduler. The same
+  // host code runs over the simulator (SimTransport) and real sockets
+  // (UdpTransport); the destructor detaches.
+  BroadcastHost(transport::Transport& transport, HostId self, HostId source,
+                std::vector<HostId> all_hosts, Config config, util::Rng rng,
+                AppDeliverFn app_deliver = {});
+
+  ~BroadcastHost();
 
   BroadcastHost(const BroadcastHost&) = delete;
   BroadcastHost& operator=(const BroadcastHost&) = delete;
@@ -80,6 +92,9 @@ class BroadcastHost {
     std::uint64_t data_forwarded{0};
     std::uint64_t gapfills_sent{0};
     std::uint64_t deliveries{0};  // first receipts handed to the app
+    // Deliveries whose payload failed wire decoding (empty std::any from
+    // the transport): counted and dropped, exactly like any other loss.
+    std::uint64_t decode_errors{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -138,6 +153,8 @@ class BroadcastHost {
 
   util::Scheduler& scheduler_;
   net::HostEndpoint& endpoint_;
+  // Set only by the Transport-backed constructor; the destructor detaches.
+  transport::Transport* transport_{nullptr};
   HostId source_;
   Config config_;
   HostState state_;

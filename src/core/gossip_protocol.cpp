@@ -40,8 +40,7 @@ GossipNode::GossipNode(util::Scheduler& scheduler, net::HostEndpoint& endpoint,
 }
 
 void GossipNode::start() {
-  round_task_->start(rng_.uniform_int(
-      0, std::max<util::Duration>(config_.gossip_period - 1, 0)));
+  round_task_->start(util::phase_jitter(rng_, config_.gossip_period));
 }
 
 Seq GossipNode::broadcast(std::string body) {

@@ -1,5 +1,9 @@
 #include "core/messages.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace rbcast::core {
 
 namespace {
@@ -50,6 +54,226 @@ const char* kind_of(const ProtocolMessage& m) {
 
 bool is_data(const ProtocolMessage& m) {
   return std::holds_alternative<DataMsg>(m);
+}
+
+// --- wire codec -----------------------------------------------------------
+
+namespace {
+
+enum : std::uint8_t {
+  kTagData = 1,
+  kTagInfo = 2,
+  kTagAttachRequest = 3,
+  kTagAttachAccept = 4,
+  kTagDetach = 5,
+};
+
+enum : std::uint8_t {
+  kDataFlagGapFill = 1,
+  kDataFlagPiggyback = 2,
+};
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_seq_set(std::string& out, const SeqSet& set) {
+  const std::vector<std::uint8_t> bytes = set.encode();
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+// Bounds-checked little-endian reads over an untrusted buffer.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool take_u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool take_u32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool take_u64(std::uint64_t& v) {
+    if (pos_ + 8 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool take_string(std::string& out, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    out.assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  // SeqSet::decode validates the interval invariants and kMaxSeq bound
+  // itself; this only frames the bytes.
+  [[nodiscard]] bool take_seq_set(SeqSet& out) {
+    std::uint32_t len = 0;
+    if (!take_u32(len) || pos_ + len > size_) return false;
+    auto decoded = SeqSet::decode(
+        reinterpret_cast<const std::uint8_t*>(data_ + pos_), len);
+    if (!decoded.has_value()) return false;
+    pos_ += len;
+    out = *std::move(decoded);
+    return true;
+  }
+
+  [[nodiscard]] bool take_host(HostId& out) {
+    std::uint32_t raw = 0;
+    if (!take_u32(raw)) return false;
+    const auto v = static_cast<std::int32_t>(raw);
+    if (v < kNoHost.value) return false;
+    out = HostId{v};
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+struct EncodeVisitor {
+  std::string& out;
+
+  void operator()(const DataMsg& m) const {
+    put_u8(out, kTagData);
+    put_u64(out, m.seq);
+    std::uint8_t flags = 0;
+    if (m.gap_fill) flags |= kDataFlagGapFill;
+    if (m.piggyback.has_value()) flags |= kDataFlagPiggyback;
+    put_u8(out, flags);
+    put_u32(out, static_cast<std::uint32_t>(m.body.size()));
+    out.append(m.body);
+    if (m.piggyback.has_value()) {
+      put_seq_set(out, m.piggyback->first);
+      put_i32(out, m.piggyback->second.value);
+    }
+  }
+  void operator()(const InfoMsg& m) const {
+    put_u8(out, kTagInfo);
+    put_seq_set(out, m.info);
+    put_i32(out, m.parent.value);
+  }
+  void operator()(const AttachRequest& m) const {
+    put_u8(out, kTagAttachRequest);
+    put_seq_set(out, m.info);
+  }
+  void operator()(const AttachAccept& m) const {
+    put_u8(out, kTagAttachAccept);
+    put_seq_set(out, m.info);
+    put_i32(out, m.parent.value);
+  }
+  void operator()(const DetachNotice&) const { put_u8(out, kTagDetach); }
+};
+
+}  // namespace
+
+std::string encode_message(const ProtocolMessage& m) {
+  std::string out;
+  out.reserve(wire_size(m));
+  std::visit(EncodeVisitor{out}, m);
+  return out;
+}
+
+std::optional<ProtocolMessage> decode_message(const char* data,
+                                              std::size_t size) {
+  Reader r(data, size);
+  std::uint8_t tag = 0;
+  if (!r.take_u8(tag)) return std::nullopt;
+  ProtocolMessage m;
+  switch (tag) {
+    case kTagData: {
+      DataMsg d;
+      std::uint8_t flags = 0;
+      std::uint32_t body_len = 0;
+      if (!r.take_u64(d.seq) || d.seq < 1 || d.seq > SeqSet::kMaxSeq ||
+          !r.take_u8(flags) ||
+          (flags & ~(kDataFlagGapFill | kDataFlagPiggyback)) != 0 ||
+          !r.take_u32(body_len) || body_len > kMaxBodyBytes ||
+          !r.take_string(d.body, body_len)) {
+        return std::nullopt;
+      }
+      d.gap_fill = (flags & kDataFlagGapFill) != 0;
+      if ((flags & kDataFlagPiggyback) != 0) {
+        SeqSet info;
+        HostId parent{kNoHost};
+        if (!r.take_seq_set(info) || !r.take_host(parent)) {
+          return std::nullopt;
+        }
+        d.piggyback.emplace(std::move(info), parent);
+      }
+      m = std::move(d);
+      break;
+    }
+    case kTagInfo: {
+      InfoMsg i;
+      if (!r.take_seq_set(i.info) || !r.take_host(i.parent)) {
+        return std::nullopt;
+      }
+      m = std::move(i);
+      break;
+    }
+    case kTagAttachRequest: {
+      AttachRequest a;
+      if (!r.take_seq_set(a.info)) return std::nullopt;
+      m = std::move(a);
+      break;
+    }
+    case kTagAttachAccept: {
+      AttachAccept a;
+      if (!r.take_seq_set(a.info) || !r.take_host(a.parent)) {
+        return std::nullopt;
+      }
+      m = std::move(a);
+      break;
+    }
+    case kTagDetach:
+      m = DetachNotice{};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;  // trailing bytes
+  return m;
 }
 
 }  // namespace rbcast::core

@@ -73,6 +73,26 @@ using ProtocolMessage =
 // Modelled wire size (header + payload) in bytes.
 [[nodiscard]] std::size_t wire_size(const ProtocolMessage& m);
 
+// --- wire codec -----------------------------------------------------------
+//
+// Real serialization for the UDP transport (the simulator hands the
+// variant through in-process and only charges wire_size()). Layout: a
+// 1-byte variant tag, then little-endian fixed-width fields; SeqSets use
+// util::SeqSet's own codec, length-prefixed. See PROTOCOL.md "Wire
+// format" for the byte layout.
+//
+// decode_message() is total: truncated input, bad tags, oversized length
+// prefixes and invalid SeqSets all return nullopt — datagrams come from
+// untrusted peers, so nothing here may assert or index out of bounds.
+
+// Ceiling on one data message body; a hostile length prefix cannot force
+// a larger allocation.
+inline constexpr std::size_t kMaxBodyBytes = 1 << 20;
+
+[[nodiscard]] std::string encode_message(const ProtocolMessage& m);
+[[nodiscard]] std::optional<ProtocolMessage> decode_message(const char* data,
+                                                            std::size_t size);
+
 // Metrics label: "data", "gapfill", "info", "attach_req", "attach_ack",
 // "detach".
 [[nodiscard]] const char* kind_of(const ProtocolMessage& m);

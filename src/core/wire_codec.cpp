@@ -1,0 +1,20 @@
+#include "core/wire_codec.h"
+
+#include "core/messages.h"
+
+namespace rbcast::core {
+
+bool ProtocolCodec::encode(const std::any& payload, std::string& out) const {
+  const auto* message = std::any_cast<ProtocolMessage>(&payload);
+  if (message == nullptr) return false;
+  out.append(encode_message(*message));
+  return true;
+}
+
+std::any ProtocolCodec::decode(const char* data, std::size_t size) const {
+  auto message = decode_message(data, size);
+  if (!message.has_value()) return {};
+  return std::any{*std::move(message)};
+}
+
+}  // namespace rbcast::core

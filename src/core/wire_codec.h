@@ -1,0 +1,26 @@
+// ProtocolCodec — core::ProtocolMessage as a transport::PayloadCodec.
+//
+// The transport layer sits below core in the layer DAG, so byte-level
+// backends cannot name ProtocolMessage; instead they take an abstract
+// PayloadCodec and composition roots (rbcast_node, tests) inject this
+// one. Encoding defers to core::encode_message; decoding is total and
+// returns an empty std::any on malformed input, which BroadcastHost
+// counts as a decode error and drops.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <string>
+
+#include "transport/transport.h"
+
+namespace rbcast::core {
+
+class ProtocolCodec final : public transport::PayloadCodec {
+ public:
+  bool encode(const std::any& payload, std::string& out) const override;
+  [[nodiscard]] std::any decode(const char* data,
+                                std::size_t size) const override;
+};
+
+}  // namespace rbcast::core

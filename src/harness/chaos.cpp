@@ -1,7 +1,6 @@
 #include "harness/chaos.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstddef>
 #include <fstream>
 #include <iomanip>
@@ -12,228 +11,33 @@
 #include "harness/experiment.h"
 #include "topo/generators.h"
 #include "util/assert.h"
+#include "util/json.h"
 
 namespace rbcast::harness {
 namespace {
 
-// --- a minimal JSON reader -------------------------------------------------
-//
-// trace::TraceReader parses only flat single-level records; chaos specs
-// nest objects and arrays, so they get their own small recursive-descent
-// parser. Numbers are doubles, object member order is preserved (to_json
-// emits in a fixed order, so round-trips are byte-stable).
+// Chaos specs nest objects and arrays, so they use the shared
+// recursive-descent reader (util/json.h); "chaos spec" contexts keep the
+// error messages this file always produced.
 
-struct Json {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type{Type::kNull};
-  bool boolean{false};
-  double number{0};
-  std::string str;
-  std::vector<Json> items;
-  std::vector<std::pair<std::string, Json>> members;
+using util::Json;
 
-  [[nodiscard]] const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("chaos spec JSON, offset " +
-                                std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* word) {
-    const std::size_t len = std::char_traits<char>::length(word);
-    if (text_.compare(pos_, len, word) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  Json value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      Json v;
-      v.type = Json::Type::kString;
-      v.str = string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      Json v;
-      v.type = Json::Type::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      Json v;
-      v.type = Json::Type::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return Json{};
-    return number();
-  }
-
-  Json object() {
-    expect('{');
-    Json v;
-    v.type = Json::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      if (peek() != '"') fail("expected object key");
-      std::string key = string();
-      expect(':');
-      v.members.emplace_back(std::move(key), value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  Json array() {
-    expect('[');
-    Json v;
-    v.type = Json::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          default: fail("unsupported escape in string");
-        }
-      } else {
-        out += c;
-      }
-    }
-    fail("unterminated string");
-  }
-
-  Json number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    Json v;
-    v.type = Json::Type::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_{0};
-};
-
-// --- typed field access ----------------------------------------------------
+constexpr const char* kJsonContext = "chaos spec";
 
 double num_or(const Json& obj, const char* key, double fallback) {
-  const Json* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  if (v->type != Json::Type::kNumber) {
-    throw std::invalid_argument(std::string("chaos spec: '") + key +
-                                "' must be a number");
-  }
-  return v->number;
+  return util::json_num_or(obj, key, fallback, kJsonContext);
 }
 
 int int_or(const Json& obj, const char* key, int fallback) {
-  return static_cast<int>(num_or(obj, key, fallback));
+  return util::json_int_or(obj, key, fallback, kJsonContext);
 }
 
 bool bool_or(const Json& obj, const char* key, bool fallback) {
-  const Json* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  if (v->type != Json::Type::kBool) {
-    throw std::invalid_argument(std::string("chaos spec: '") + key +
-                                "' must be a boolean");
-  }
-  return v->boolean;
+  return util::json_bool_or(obj, key, fallback, kJsonContext);
 }
 
 std::string str_or(const Json& obj, const char* key, std::string fallback) {
-  const Json* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  if (v->type != Json::Type::kString) {
-    throw std::invalid_argument(std::string("chaos spec: '") + key +
-                                "' must be a string");
-  }
-  return v->str;
+  return util::json_str_or(obj, key, std::move(fallback), kJsonContext);
 }
 
 // --- JSON writing ----------------------------------------------------------
@@ -337,7 +141,7 @@ std::string to_json(const ChaosSpec& spec) {
 }
 
 ChaosSpec parse_chaos_spec(const std::string& json) {
-  const Json root = JsonParser(json).parse();
+  const Json root = util::parse_json(json, kJsonContext);
   if (root.type != Json::Type::kObject) {
     throw std::invalid_argument("chaos spec: top level must be an object");
   }

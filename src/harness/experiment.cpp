@@ -22,6 +22,8 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
 
   network_ = std::make_unique<net::Network>(simulator_, topology_,
                                             options_.net, rngs_);
+  transport_ =
+      std::make_unique<transport::SimTransport>(simulator_, *network_);
   metrics_ = std::make_unique<trace::Metrics>(simulator_, *network_);
   metrics_->attach();
   events_ = std::make_unique<trace::EventLog>(simulator_);
@@ -61,9 +63,8 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
         };
       }
       auto node = std::make_unique<core::BroadcastHost>(
-          simulator_, network_->endpoint(h), options_.source, all_hosts,
-          options_.protocol, rngs_.stream("host.jitter", h.value),
-          std::move(deliver));
+          *transport_, h, options_.source, all_hosts, options_.protocol,
+          rngs_.stream("host.jitter", h.value), std::move(deliver));
       if (options_.protocol.cluster_knowledge ==
           core::Config::ClusterKnowledge::kStatic) {
         for (const auto& cluster : ground_clusters) {
@@ -75,9 +76,6 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
       }
       node->set_observer(events_.get());
       paper_hosts_[static_cast<std::size_t>(h.value)] = std::move(node);
-      network_->register_host(h, [this, h](const net::Delivery& d) {
-        paper_hosts_[static_cast<std::size_t>(h.value)]->on_delivery(d);
-      });
     }
     if (options_.monitor_invariants) {
       monitor_ = std::make_unique<InvariantMonitor>(

@@ -22,6 +22,7 @@
 #include "sim/simulator.h"
 #include "topo/topology.h"
 #include "trace/convergence.h"
+#include "transport/sim_transport.h"
 #include "trace/event_log.h"
 #include "trace/metric_sampler.h"
 #include "trace/metrics.h"
@@ -159,6 +160,10 @@ class Experiment {
   util::RngFactory rngs_;
   sim::Simulator simulator_;
   std::unique_ptr<net::Network> network_;
+  // Paper hosts run over the Transport seam (SimTransport is a pure
+  // forwarding adapter, so the wiring change is digest-invisible);
+  // declared before the hosts so it outlives them.
+  std::unique_ptr<transport::SimTransport> transport_;
   std::unique_ptr<trace::Metrics> metrics_;
   std::unique_ptr<trace::EventLog> events_;
   std::unique_ptr<net::FaultPlan> faults_;

@@ -46,7 +46,7 @@ std::string Event::describe() const {
 
 void EventLog::push(EventType type, HostId host, HostId peer, util::Seq seq,
                     std::string detail) {
-  events_.push_back(Event{simulator_.now(), type, host, peer, seq,
+  events_.push_back(Event{clock_.now(), type, host, peer, seq,
                           std::move(detail)});
   if (sink_ != nullptr) {
     const Event& e = events_.back();

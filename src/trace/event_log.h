@@ -11,8 +11,9 @@
 #include <vector>
 
 #include "core/protocol_observer.h"
-#include "sim/simulator.h"
+#include "sim/time.h"
 #include "trace/trace_sink.h"
+#include "util/scheduler.h"
 
 namespace rbcast::trace {
 
@@ -48,7 +49,10 @@ struct Event {
 
 class EventLog final : public core::ProtocolObserver {
  public:
-  explicit EventLog(sim::Simulator& simulator) : simulator_(simulator) {}
+  // Takes any clock source — sim::Simulator for simulated runs,
+  // util::RealTimeScheduler for rbcast_node — so both backends stamp
+  // events identically.
+  explicit EventLog(util::Scheduler& clock) : clock_(clock) {}
 
   // --- ProtocolObserver -----------------------------------------------
   void on_attach_requested(HostId host, HostId candidate,
@@ -93,7 +97,7 @@ class EventLog final : public core::ProtocolObserver {
   void push(EventType type, HostId host, HostId peer, util::Seq seq,
             std::string detail);
 
-  sim::Simulator& simulator_;
+  util::Scheduler& clock_;
   std::vector<Event> events_;
   TraceSink* sink_{nullptr};
 };

@@ -22,22 +22,22 @@ TraceRecord base(sim::TimePoint at, const char* name, HostId track,
 }  // namespace
 
 void NetTap::on_host_send(const net::Delivery& d) {
-  TraceRecord r = base(simulator_.now(), "host_send", d.from, d);
+  TraceRecord r = base(clock_.now(), "host_send", d.from, d);
   r.field("to", std::int64_t{d.to.value});
   sink_.record(r);
 }
 
 void NetTap::on_deliver(const net::Delivery& d) {
-  TraceRecord r = base(simulator_.now(), "deliver", d.to, d);
+  TraceRecord r = base(clock_.now(), "deliver", d.to, d);
   r.field("from", std::int64_t{d.from.value})
       .field("expensive", d.expensive)
       .field("hops", std::int64_t{d.hops})
-      .field("flight_us", std::int64_t{simulator_.now() - d.sent_at});
+      .field("flight_us", std::int64_t{clock_.now() - d.sent_at});
   sink_.record(r);
 }
 
 void NetTap::on_drop(const net::Delivery& d, net::DropReason reason) {
-  TraceRecord r = base(simulator_.now(), "drop", d.to, d);
+  TraceRecord r = base(clock_.now(), "drop", d.to, d);
   r.field("from", std::int64_t{d.from.value})
       .field("reason", std::string(net::to_string(reason)));
   sink_.record(r);

@@ -13,22 +13,25 @@
 #pragma once
 
 #include "net/message.h"
-#include "sim/simulator.h"
 #include "trace/trace_sink.h"
+#include "util/scheduler.h"
 
 namespace rbcast::trace {
 
 class NetTap final : public net::NetObserver {
  public:
-  NetTap(sim::Simulator& simulator, TraceSink& sink)
-      : simulator_(simulator), sink_(sink) {}
+  // `clock` is whichever Scheduler the observed backend runs on —
+  // sim::Simulator or util::RealTimeScheduler — so simulated and real
+  // traces share one record schema and timestamp domain.
+  NetTap(util::Scheduler& clock, TraceSink& sink)
+      : clock_(clock), sink_(sink) {}
 
   void on_host_send(const net::Delivery& d) override;
   void on_deliver(const net::Delivery& d) override;
   void on_drop(const net::Delivery& d, net::DropReason reason) override;
 
  private:
-  sim::Simulator& simulator_;
+  util::Scheduler& clock_;
   TraceSink& sink_;
 };
 

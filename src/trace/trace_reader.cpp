@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -544,6 +545,124 @@ ConvergenceTimeline convergence_timeline(
     if (shape_change) t.last_change_at = std::max(t.last_change_at, r.at);
   }
   return t;
+}
+
+// --- sim-vs-real divergence -------------------------------------------------
+
+DeliveryMap delivery_map(const std::vector<TraceRecord>& records) {
+  DeliveryMap m;
+  for (const TraceRecord& r : records) {
+    if (r.category != "protocol" || r.name != "delivered") continue;
+    const std::int64_t seq = field_int(r, "seq");
+    if (seq < 0 || !r.host.valid()) continue;
+    m.by_host[r.host.value].push_back(static_cast<std::uint64_t>(seq));
+    m.max_seq = std::max(m.max_seq, static_cast<std::uint64_t>(seq));
+    m.last_delivery_at = std::max(m.last_delivery_at, r.at);
+  }
+  // The verdict compares sets; order of first receipt legitimately differs
+  // between a virtual and a wall clock.
+  for (auto& [host, seqs] : m.by_host) std::sort(seqs.begin(), seqs.end());
+  return m;
+}
+
+namespace {
+
+// Renders up to kMaxListed elements of a seq list, then "... (+n more)".
+std::string seq_list(const std::vector<std::uint64_t>& seqs) {
+  constexpr std::size_t kMaxListed = 8;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < seqs.size() && i < kMaxListed; ++i) {
+    if (i > 0) os << ' ';
+    os << seqs[i];
+  }
+  if (seqs.size() > kMaxListed) {
+    os << " ... (+" << (seqs.size() - kMaxListed) << " more)";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+TraceComparison compare_traces(const std::vector<TraceRecord>& left,
+                               const std::vector<TraceRecord>& right) {
+  constexpr std::size_t kMaxDivergences = 32;
+  TraceComparison cmp;
+  cmp.left = delivery_map(left);
+  cmp.right = delivery_map(right);
+  cmp.left_tree = convergence_timeline(left);
+  cmp.right_tree = convergence_timeline(right);
+
+  auto note = [&cmp](const std::string& line) {
+    if (cmp.divergences.size() < kMaxDivergences) cmp.divergences.push_back(line);
+  };
+
+  std::set<std::int32_t> hosts;
+  for (const auto& [h, _] : cmp.left.by_host) hosts.insert(h);
+  for (const auto& [h, _] : cmp.right.by_host) hosts.insert(h);
+  for (const std::int32_t h : hosts) {
+    const auto li = cmp.left.by_host.find(h);
+    const auto ri = cmp.right.by_host.find(h);
+    if (li == cmp.left.by_host.end()) {
+      note("h" + std::to_string(h) + ": delivered nothing in left trace");
+      continue;
+    }
+    if (ri == cmp.right.by_host.end()) {
+      note("h" + std::to_string(h) + ": delivered nothing in right trace");
+      continue;
+    }
+    if (li->second == ri->second) continue;
+    std::vector<std::uint64_t> only_left;
+    std::vector<std::uint64_t> only_right;
+    std::set_difference(li->second.begin(), li->second.end(),
+                        ri->second.begin(), ri->second.end(),
+                        std::back_inserter(only_left));
+    std::set_difference(ri->second.begin(), ri->second.end(),
+                        li->second.begin(), li->second.end(),
+                        std::back_inserter(only_right));
+    if (!only_left.empty()) {
+      note("h" + std::to_string(h) + ": only in left: " + seq_list(only_left));
+    }
+    if (!only_right.empty()) {
+      note("h" + std::to_string(h) +
+           ": only in right: " + seq_list(only_right));
+    }
+    // Duplicates within one trace make the multisets differ even when the
+    // symmetric difference is empty (the protocol promises at-most-once).
+    if (only_left.empty() && only_right.empty()) {
+      note("h" + std::to_string(h) + ": duplicate deliveries differ");
+    }
+  }
+  cmp.match = cmp.divergences.empty() && !hosts.empty();
+  if (hosts.empty()) note("neither trace contains a protocol delivery");
+  return cmp;
+}
+
+void print_comparison(std::ostream& os, const TraceComparison& cmp,
+                      const std::string& left_label,
+                      const std::string& right_label) {
+  auto side = [&os](const char* tag, const std::string& label,
+                    const DeliveryMap& m, const ConvergenceTimeline& t) {
+    std::size_t total = 0;
+    for (const auto& [_, seqs] : m.by_host) total += seqs.size();
+    os << tag << ' ' << label << ": " << m.by_host.size() << " hosts, "
+       << total << " deliveries, max seq " << m.max_seq
+       << ", last delivery at " << sim::to_seconds(m.last_delivery_at)
+       << "s\n"
+       << tag << " tree: " << t.attaches << " attaches, " << t.detaches
+       << " detaches, " << t.cycles_broken
+       << " cycles broken, last shape change at "
+       << sim::to_seconds(t.last_change_at) << "s\n";
+  };
+  side("left ", left_label, cmp.left, cmp.left_tree);
+  side("right", right_label, cmp.right, cmp.right_tree);
+  if (cmp.match) {
+    os << "MATCH: every host delivered the same sequence set in both "
+          "traces\n";
+    return;
+  }
+  os << "DIVERGED: " << cmp.divergences.size() << " difference"
+     << (cmp.divergences.size() == 1 ? "" : "s") << '\n';
+  for (const std::string& d : cmp.divergences) os << "  " << d << '\n';
 }
 
 // --- rendering --------------------------------------------------------------

@@ -115,6 +115,40 @@ struct ConvergenceTimeline {
 [[nodiscard]] ConvergenceTimeline convergence_timeline(
     const std::vector<TraceRecord>& records);
 
+// --- sim-vs-real divergence -------------------------------------------------
+//
+// Aligns two traces of the same topology/workload — canonically one
+// simulated and one over real sockets — on what the protocol promised:
+// which sequence numbers each host delivered. Timings are reported but
+// never compared (virtual and wall clocks are different animals); the
+// verdict is about delivery sets.
+
+// Per-host protocol/delivered sets extracted from one trace.
+struct DeliveryMap {
+  // host -> delivered sequence numbers (first receipts).
+  std::map<std::int32_t, std::vector<std::uint64_t>> by_host;
+  std::uint64_t max_seq{0};
+  sim::TimePoint last_delivery_at{0};
+};
+
+[[nodiscard]] DeliveryMap delivery_map(
+    const std::vector<TraceRecord>& records);
+
+struct TraceComparison {
+  bool match{false};  // same host set, identical delivery set per host
+  DeliveryMap left;
+  DeliveryMap right;
+  ConvergenceTimeline left_tree;
+  ConvergenceTimeline right_tree;
+  // Human-readable divergences (missing hosts, per-host set differences),
+  // capped so a totally different pair of traces stays readable.
+  std::vector<std::string> divergences;
+};
+
+[[nodiscard]] TraceComparison compare_traces(
+    const std::vector<TraceRecord>& left,
+    const std::vector<TraceRecord>& right);
+
 // --- rendering (shared by rbcast_trace and tests) --------------------------
 
 // One human-readable line per record: "[12.000s] h3 net/deliver ...".
@@ -124,5 +158,9 @@ void print_lineage(std::ostream& os, const std::vector<LineageStep>& steps,
                    std::uint64_t seq);
 void print_convergence(std::ostream& os,
                        const std::vector<TraceRecord>& records);
+// Labels name the two traces in the report (e.g. file paths).
+void print_comparison(std::ostream& os, const TraceComparison& cmp,
+                      const std::string& left_label,
+                      const std::string& right_label);
 
 }  // namespace rbcast::trace

@@ -1,0 +1,20 @@
+#include "transport/impairment.h"
+
+namespace rbcast::transport {
+
+ImpairmentPlan Impairment::next() {
+  ImpairmentPlan plan;
+  if (rng_.chance(config_.loss)) {
+    plan.dropped = true;
+    return plan;
+  }
+  if (rng_.chance(config_.duplicate)) plan.copies = 2;
+  for (int c = 0; c < plan.copies; ++c) {
+    if (rng_.chance(config_.reorder)) {
+      plan.delay[c] = rng_.uniform_int(1, config_.delay_max);
+    }
+  }
+  return plan;
+}
+
+}  // namespace rbcast::transport

@@ -1,0 +1,53 @@
+// Seeded UDP impairment — the paper's failure model on a loopback wire.
+//
+// Localhost UDP is too polite to exercise the protocol (it rarely loses,
+// never duplicates, and almost never reorders), so UdpTransport applies
+// the failure model itself at send time: each outgoing datagram is
+// independently dropped, duplicated and/or delayed according to a seeded
+// RNG. The integration test needs no root, no `tc netem`, and reproduces
+// exactly per seed. The decision order is fixed (loss, then duplication,
+// then per-copy delay) so a given seed perturbs the same datagrams no
+// matter which knobs are on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rbcast::transport {
+
+struct ImpairmentConfig {
+  double loss{0};       // P(datagram silently dropped)
+  double duplicate{0};  // P(datagram sent twice)
+  double reorder{0};    // P(a copy is delayed by uniform (0, delay_max])
+  util::Duration delay_max{util::Duration{20'000}};  // 20ms default
+  std::uint64_t seed{0};
+
+  [[nodiscard]] bool enabled() const {
+    return loss > 0 || duplicate > 0 || reorder > 0;
+  }
+};
+
+// One send decision: how many copies leave, and when.
+struct ImpairmentPlan {
+  bool dropped{false};
+  int copies{1};
+  // Per-copy extra delay; copies beyond kMaxCopies share the last slot.
+  static constexpr int kMaxCopies = 2;
+  util::Duration delay[kMaxCopies]{0, 0};
+};
+
+class Impairment {
+ public:
+  explicit Impairment(const ImpairmentConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] ImpairmentPlan next();
+
+ private:
+  ImpairmentConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace rbcast::transport

@@ -1,0 +1,19 @@
+#include "transport/sim_transport.h"
+
+#include <utility>
+
+namespace rbcast::transport {
+
+net::HostEndpoint& SimTransport::attach(HostId host, net::DeliveryFn deliver) {
+  network_.register_host(host, std::move(deliver));
+  return network_.endpoint(host);
+}
+
+void SimTransport::detach(HostId host) {
+  // Network has no unregister; park a sink so in-flight messages that
+  // arrive after the host died are silently discarded, as the paper's
+  // network would discard messages to a crashed host.
+  network_.register_host(host, [](const net::Delivery&) {});
+}
+
+}  // namespace rbcast::transport

@@ -1,0 +1,36 @@
+// SimTransport — the Transport over the discrete-event simulator.
+//
+// A pure forwarding adapter: attach() is exactly the
+// Network::register_host + Network::endpoint pair every composition root
+// used to call by hand, and scheduler() is the simulator itself. No state,
+// no extra events, no RNG draws — a run wired through SimTransport is
+// bit-for-bit identical (same EventLog::digest()) to one wired directly,
+// which is what the determinism gate holds this adapter to.
+#pragma once
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/transport.h"
+
+namespace rbcast::transport {
+
+class SimTransport final : public Transport {
+ public:
+  // Both references must outlive this object (and any attached host).
+  SimTransport(sim::Simulator& simulator, net::Network& network)
+      : simulator_(simulator), network_(network) {}
+
+  [[nodiscard]] util::Scheduler& scheduler() override { return simulator_; }
+
+  net::HostEndpoint& attach(HostId host, net::DeliveryFn deliver) override;
+
+  // Network keeps registrations for its whole lifetime; detaching just
+  // disconnects the upcall so a destroyed host is never called back.
+  void detach(HostId host) override;
+
+ private:
+  sim::Simulator& simulator_;
+  net::Network& network_;
+};
+
+}  // namespace rbcast::transport

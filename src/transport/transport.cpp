@@ -1,0 +1,10 @@
+#include "transport/transport.h"
+
+namespace rbcast::transport {
+
+// Out-of-line key functions: one vtable/RTTI anchor per interface instead
+// of one per translation unit.
+PayloadCodec::~PayloadCodec() = default;
+Transport::~Transport() = default;
+
+}  // namespace rbcast::transport

@@ -1,0 +1,65 @@
+// Transport — the backend seam between the protocol layer and a message
+// fabric.
+//
+// The paper's network model (single-destination sends; delivery may lose,
+// reorder and duplicate; a cost bit is the only feedback) is implemented
+// twice: by the discrete-event simulator (net::Network under
+// sim::Simulator) and by real UDP sockets (udp_transport.h under
+// util::RealTimeScheduler). This header is the ONLY transport/ file the
+// protocol layer may include — rbcast_analyze enforces that core/ never
+// names a concrete backend — so a BroadcastHost built against Transport
+// runs unmodified in either world.
+//
+// A Transport owns the wiring for a set of local hosts: attach() binds a
+// host's delivery upcall and hands back the endpoint it sends through;
+// scheduler() is the clock those hosts must run their timers on.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <string>
+
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/scheduler.h"
+
+namespace rbcast::transport {
+
+// Serializes the protocol payload carried opaquely (std::any) inside
+// net::Delivery. Byte-level backends need one, the simulator does not
+// (in-process deliveries hand the std::any through untouched). The
+// implementation lives ABOVE transport — core/wire_codec.h encodes
+// core::ProtocolMessage — and is injected at composition roots, keeping
+// this layer ignorant of protocol types.
+class PayloadCodec {
+ public:
+  virtual ~PayloadCodec();
+
+  // Appends the wire encoding of `payload` to `out`; false when the
+  // std::any does not hold a type this codec understands.
+  virtual bool encode(const std::any& payload, std::string& out) const = 0;
+
+  // Decodes `size` payload bytes. Returns an EMPTY std::any on malformed
+  // input — never throws, never UB — so receivers can count and drop.
+  [[nodiscard]] virtual std::any decode(const char* data,
+                                        std::size_t size) const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  // The clock and timer source hosts attached to this transport must use.
+  [[nodiscard]] virtual util::Scheduler& scheduler() = 0;
+
+  // Binds a local host: incoming messages addressed to it invoke
+  // `deliver`, and the returned endpoint (owned by the transport, valid
+  // until detach() or transport destruction) is what it sends through.
+  // One attach per host; the host must detach before its deliver callback
+  // dies.
+  virtual net::HostEndpoint& attach(HostId host, net::DeliveryFn deliver) = 0;
+
+  virtual void detach(HostId host) = 0;
+};
+
+}  // namespace rbcast::transport

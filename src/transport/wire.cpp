@@ -1,0 +1,134 @@
+#include "transport/wire.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace rbcast::transport {
+
+namespace {
+
+constexpr char kMagic[3] = {'R', 'B', 'C'};
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Bounds-checked little-endian reads over the datagram.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool take_u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool take_u32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool take_u64(std::uint64_t& v) {
+    if (pos_ + 8 > size_) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool take_bytes(std::string& out, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    out.assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  RBCAST_ASSERT_MSG(frame.kind.size() <= kMaxKind, "frame kind too long");
+  RBCAST_ASSERT_MSG(frame.payload.size() <= kMaxPayload,
+                    "frame payload too large");
+  std::string out;
+  out.reserve(26 + frame.kind.size() + frame.payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u8(out, kWireVersion);
+  put_u32(out, static_cast<std::uint32_t>(frame.from.value));
+  put_u32(out, static_cast<std::uint32_t>(frame.to.value));
+  put_u8(out, frame.expensive ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(frame.kind.size()));
+  out.append(frame.kind);
+  put_u64(out, frame.trace_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+std::optional<Frame> decode_frame(const char* data, std::size_t size) {
+  if (size < 4 || std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (static_cast<std::uint8_t>(data[3]) != kWireVersion) return std::nullopt;
+  Reader r(data + 4, size - 4);
+
+  Frame f;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t kind_len = 0;
+  if (!r.take_u32(from) || !r.take_u32(to) || !r.take_u8(flags) ||
+      !r.take_u8(kind_len)) {
+    return std::nullopt;
+  }
+  f.from = HostId{static_cast<HostId::value_type>(from)};
+  f.to = HostId{static_cast<HostId::value_type>(to)};
+  if ((flags & ~std::uint8_t{1}) != 0) return std::nullopt;
+  f.expensive = (flags & 1) != 0;
+  if (kind_len > kMaxKind || !r.take_bytes(f.kind, kind_len)) {
+    return std::nullopt;
+  }
+  std::uint32_t payload_len = 0;
+  if (!r.take_u64(f.trace_id) || !r.take_u32(payload_len)) {
+    return std::nullopt;
+  }
+  if (payload_len > kMaxPayload || !r.take_bytes(f.payload, payload_len)) {
+    return std::nullopt;
+  }
+  if (r.remaining() != 0) return std::nullopt;  // padded datagram
+  return f;
+}
+
+}  // namespace rbcast::transport

@@ -1,0 +1,57 @@
+// Datagram frame codec — the transport-level envelope around a payload.
+//
+// Every UDP datagram carries one frame (see PROTOCOL.md "Wire format"):
+//
+//   offset  size  field
+//        0     3  magic "RBC"
+//        3     1  version (kWireVersion; receivers drop other versions)
+//        4     4  from host id, int32 LE
+//        8     4  to host id, int32 LE
+//       12     1  flags (bit 0: traversed an expensive link)
+//       13     1  kind length K (metrics label, <= kMaxKind)
+//       14     K  kind bytes
+//     14+K     8  trace id, uint64 LE
+//     22+K     4  payload length P, uint32 LE (<= kMaxPayload)
+//     26+K     P  payload bytes (opaque here; see transport::PayloadCodec)
+//
+// The explicit payload length makes the frame self-delimiting even though
+// UDP already frames datagrams: a truncated or padded datagram is detected
+// instead of silently mis-parsed, and the same bytes could later travel a
+// stream transport unchanged. decode_frame() is total — any malformed
+// input returns nullopt, never UB — because datagrams arrive from
+// untrusted peers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/message.h"
+#include "util/ids.h"
+
+namespace rbcast::transport {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kMaxKind = 32;
+// Generous ceiling for one protocol message; real datagrams must also fit
+// the socket buffer, this bound just stops a hostile length prefix from
+// forcing a huge allocation.
+inline constexpr std::size_t kMaxPayload = 1 << 20;
+
+struct Frame {
+  HostId from{kNoHost};
+  HostId to{kNoHost};
+  bool expensive{false};
+  std::string kind;
+  net::TraceId trace_id{0};
+  std::string payload;
+};
+
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+// nullopt on malformed input: short buffer, bad magic, unknown version,
+// oversized kind/payload length, or trailing bytes past the payload.
+[[nodiscard]] std::optional<Frame> decode_frame(const char* data,
+                                                std::size_t size);
+
+}  // namespace rbcast::transport

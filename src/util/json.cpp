@@ -1,0 +1,215 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace rbcast::util {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(context_ + " JSON, offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      Json v;
+      v.type = Json::Type::kString;
+      v.str = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      Json v;
+      v.type = Json::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      Json v;
+      v.type = Json::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return Json{};
+    return number();
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = string();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default: fail("unsupported escape in string");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Json v;
+    v.type = Json::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  const std::string& context_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+Json parse_json(const std::string& text, const std::string& context) {
+  return JsonParser(text, context).parse();
+}
+
+double json_num_or(const Json& obj, const char* key, double fallback,
+                   const std::string& context) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != Json::Type::kNumber) {
+    throw std::invalid_argument(context + ": '" + key + "' must be a number");
+  }
+  return v->number;
+}
+
+int json_int_or(const Json& obj, const char* key, int fallback,
+                const std::string& context) {
+  return static_cast<int>(json_num_or(obj, key, fallback, context));
+}
+
+bool json_bool_or(const Json& obj, const char* key, bool fallback,
+                  const std::string& context) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != Json::Type::kBool) {
+    throw std::invalid_argument(context + ": '" + key + "' must be a boolean");
+  }
+  return v->boolean;
+}
+
+std::string json_str_or(const Json& obj, const char* key, std::string fallback,
+                        const std::string& context) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != Json::Type::kString) {
+    throw std::invalid_argument(context + ": '" + key + "' must be a string");
+  }
+  return v->str;
+}
+
+}  // namespace rbcast::util

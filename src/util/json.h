@@ -1,0 +1,55 @@
+// A minimal JSON document reader.
+//
+// trace::TraceReader parses only flat single-level JSONL records; anything
+// that nests objects and arrays — chaos specs, rbcast_node topology
+// configs — uses this small recursive-descent parser instead. Numbers are
+// doubles, object member order is preserved (writers emit members in a
+// fixed order, so round-trips are byte-stable).
+//
+// Lives in util (not harness) so both the chaos harness and the transport
+// tooling can parse configs without an upward layer edge.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rbcast::util {
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string str;
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> members;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Parses exactly one JSON value (trailing garbage rejected). Throws
+// std::invalid_argument on malformed input; `context` prefixes the error
+// ("<context> JSON, offset N: ...") so callers name their document kind.
+[[nodiscard]] Json parse_json(const std::string& text,
+                              const std::string& context);
+
+// Typed member access with a fallback for absent keys. A present key of
+// the wrong type throws std::invalid_argument ("<context>: 'key' must be
+// a ...") — silently coercing a typo'd config is worse than failing.
+[[nodiscard]] double json_num_or(const Json& obj, const char* key,
+                                 double fallback, const std::string& context);
+[[nodiscard]] int json_int_or(const Json& obj, const char* key, int fallback,
+                              const std::string& context);
+[[nodiscard]] bool json_bool_or(const Json& obj, const char* key,
+                                bool fallback, const std::string& context);
+[[nodiscard]] std::string json_str_or(const Json& obj, const char* key,
+                                      std::string fallback,
+                                      const std::string& context);
+
+}  // namespace rbcast::util

@@ -1,0 +1,107 @@
+#include "util/real_time_scheduler.h"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace rbcast::util {
+
+namespace {
+
+TimePoint monotonic_micros() {
+  timespec ts{};
+  RBCAST_ASSERT_MSG(clock_gettime(CLOCK_MONOTONIC, &ts) == 0,
+                    "CLOCK_MONOTONIC unavailable");
+  return static_cast<TimePoint>(ts.tv_sec) * 1'000'000 +
+         static_cast<TimePoint>(ts.tv_nsec) / 1'000;
+}
+
+}  // namespace
+
+RealTimeScheduler::RealTimeScheduler() : epoch_(monotonic_micros()) {}
+
+RealTimeScheduler::~RealTimeScheduler() = default;
+
+TimePoint RealTimeScheduler::now() const { return monotonic_micros() - epoch_; }
+
+EventId RealTimeScheduler::after(Duration d, Action action) {
+  RBCAST_CHECK_ARG(d >= 0, "cannot schedule in the past");
+  RBCAST_CHECK_ARG(action != nullptr, "scheduled action must be callable");
+  const std::uint64_t id = next_id_++;
+  const TimePoint deadline = now() + d;
+  timers_.emplace(TimerKey{deadline, id}, std::move(action));
+  deadlines_.emplace(id, deadline);
+  return EventId{id};
+}
+
+bool RealTimeScheduler::cancel(EventId id) {
+  const auto it = deadlines_.find(id.value);
+  if (it == deadlines_.end()) return false;
+  timers_.erase(TimerKey{it->second, id.value});
+  deadlines_.erase(it);
+  return true;
+}
+
+void RealTimeScheduler::watch_fd(int fd, FdCallback on_readable) {
+  RBCAST_CHECK_ARG(fd >= 0, "watch_fd needs a valid descriptor");
+  RBCAST_CHECK_ARG(on_readable != nullptr, "watch_fd needs a callback");
+  watched_[fd] = std::move(on_readable);
+}
+
+void RealTimeScheduler::unwatch_fd(int fd) { watched_.erase(fd); }
+
+Duration RealTimeScheduler::fire_due_timers(Duration horizon) {
+  // Pop one due timer at a time: the action may schedule or cancel other
+  // timers, so no iterator may live across a call into it.
+  while (!timers_.empty()) {
+    const auto it = timers_.begin();
+    const TimePoint deadline = it->first.first;
+    const Duration wait = deadline - now();
+    if (wait > 0) return std::min(wait, horizon);
+    Action action = std::move(it->second);
+    deadlines_.erase(it->first.second);
+    timers_.erase(it);
+    action();
+    if (stopped_) break;
+  }
+  return horizon;
+}
+
+void RealTimeScheduler::run_until(TimePoint t) {
+  stopped_ = false;
+  while (!stopped_) {
+    const Duration remaining = t - now();
+    if (remaining <= 0) return;
+    const Duration wait = fire_due_timers(remaining);
+    if (stopped_ || t - now() <= 0) return;
+
+    std::vector<pollfd> fds;
+    fds.reserve(watched_.size());
+    for (const auto& [fd, cb] : watched_) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    // Round the poll timeout up to whole milliseconds so we never spin
+    // sub-millisecond waits, and cap it to keep the int conversion safe.
+    const Duration wait_ms =
+        std::min<Duration>((std::max<Duration>(wait, 0) + 999) / 1000,
+                           60 * 1000);
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(wait_ms));
+    if (rc < 0) continue;  // EINTR: just re-derive deadlines and retry
+    for (const pollfd& p : fds) {
+      if (stopped_) return;
+      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      // The callback may unwatch fds (including its own); look it up
+      // fresh and skip if it vanished.
+      const auto it = watched_.find(p.fd);
+      if (it != watched_.end()) it->second();
+    }
+  }
+}
+
+}  // namespace rbcast::util

@@ -1,6 +1,9 @@
 #include "util/scheduler.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace rbcast::util {
 
@@ -35,6 +38,13 @@ void PeriodicTask::fire() {
   // Reschedule before running the action so the action may stop() us.
   pending_ = scheduler_.after(period_, [this] { fire(); });
   action_();
+}
+
+Duration phase_jitter(Rng& rng, Duration period) {
+  // max() keeps the degenerate period == 1 (or 0) case a valid draw range;
+  // the formula predates this helper, so seeded draw sequences are
+  // unchanged by the extraction.
+  return rng.uniform_int(0, std::max<Duration>(period - 1, 0));
 }
 
 }  // namespace rbcast::util

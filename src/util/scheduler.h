@@ -21,6 +21,8 @@
 
 namespace rbcast::util {
 
+class Rng;
+
 // Handle to a scheduled (pending) timer. Value 0 is "no timer".
 struct EventId {
   std::uint64_t value{0};
@@ -77,5 +79,14 @@ class PeriodicTask {
   std::function<void()> action_;
   EventId pending_{};
 };
+
+// The phase offset for a periodic task's first firing: uniform in
+// [0, period), drawn from the caller's named stream. This is THE jitter
+// policy for both schedulers — protocols pass the result to
+// PeriodicTask::start() whether they run under sim::Simulator or
+// util::RealTimeScheduler, so sim and real runs de-phase identically for
+// the same seed. Exactly one uniform_int draw per call (the sequence pin
+// in real_time_scheduler_test relies on this).
+[[nodiscard]] Duration phase_jitter(Rng& rng, Duration period);
 
 }  // namespace rbcast::util

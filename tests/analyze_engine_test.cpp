@@ -61,8 +61,8 @@ TEST(LayerPass, RankClimbFlagged) {
 TEST(LayerPass, DownwardAndSameRankEdgesAllowed) {
   const auto r = run({
       {"src/core/host.h",
-       "#pragma once\n#include \"util/rng.h\"\n#include \"net/network.h\"\n"},
-      {"src/net/network.h", "#pragma once\n#include \"sim/time.h\"\n"},
+       "#pragma once\n#include \"util/rng.h\"\n#include \"net/message.h\"\n"},
+      {"src/net/message.h", "#pragma once\n#include \"sim/time.h\"\n"},
       {"src/trace/sink.h", "#pragma once\n#include \"model/graph.h\"\n"},
       {"src/model/graph.h", "#pragma once\n"},
       {"src/util/rng.h", "#pragma once\n"},
@@ -70,6 +70,55 @@ TEST(LayerPass, DownwardAndSameRankEdgesAllowed) {
   });
   EXPECT_FALSE(fires(r.findings, "layer-violation"));
   EXPECT_FALSE(fires(r.findings, "layer-unknown"));
+}
+
+TEST(LayerPass, InterfaceOnlyEdgeAllowsTheAbstractHeader) {
+  const auto r = run({
+      {"src/core/host.h",
+       "#pragma once\n#include \"transport/transport.h\"\n"
+       "#include \"net/message.h\"\n"},
+      {"src/transport/transport.h", "#pragma once\n"},
+      {"src/net/message.h", "#pragma once\n"},
+  });
+  EXPECT_FALSE(fires(r.findings, "layer-violation"));
+}
+
+TEST(LayerPass, InterfaceOnlyEdgeRejectsConcreteBackends) {
+  // core -> transport is rank-legal but restricted to the abstract
+  // interface header; a backend include must fire even though transport
+  // sits below core in the DAG.
+  const auto r = run({
+      {"src/core/host.cpp",
+       "#include \"transport/udp_transport.h\"\n"},
+      {"src/transport/udp_transport.h", "#pragma once\n"},
+  });
+  ASSERT_TRUE(fires(r.findings, "layer-violation"));
+  EXPECT_NE(r.findings[0].message.find("interface-only"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("transport/transport.h"),
+            std::string::npos);
+}
+
+TEST(LayerPass, InterfaceOnlyEdgeRejectsConcreteNetEndpoints) {
+  const auto r = run({
+      {"src/core/host.h", "#pragma once\n#include \"net/network.h\"\n"},
+      {"src/net/network.h", "#pragma once\n"},
+  });
+  ASSERT_TRUE(fires(r.findings, "layer-violation"));
+  EXPECT_NE(r.findings[0].message.find("interface-only"), std::string::npos);
+}
+
+TEST(LayerPass, InterfaceOnlyRestrictionDoesNotBindOtherLayers) {
+  // Only the named from-layer is restricted: transport backends and the
+  // harness may include concrete net headers freely.
+  const auto r = run({
+      {"src/transport/sim_transport.h",
+       "#pragma once\n#include \"net/network.h\"\n"},
+      {"src/harness/experiment.h",
+       "#pragma once\n#include \"net/network.h\"\n"
+       "#include \"transport/sim_transport.h\"\n"},
+      {"src/net/network.h", "#pragma once\n"},
+  });
+  EXPECT_FALSE(fires(r.findings, "layer-violation"));
 }
 
 TEST(LayerPass, UnknownLayerFlagged) {

@@ -290,5 +290,103 @@ TEST_F(TracedRunTest, RenderersProduceOutput) {
   EXPECT_NE(conv.str().find("attach"), std::string::npos);
 }
 
+// --- sim-vs-real comparison -------------------------------------------------
+
+TraceRecord delivered(std::int64_t t, std::int32_t host, std::uint64_t seq) {
+  TraceRecord r;
+  r.at = t;
+  r.category = "protocol";
+  r.name = "delivered";
+  r.host = HostId{host};
+  r.field("seq", seq);
+  return r;
+}
+
+TEST(Compare, DeliveryMapCollectsSortedPerHostSets) {
+  // Out-of-order receipt (real networks reorder) must not affect the map.
+  const std::vector<TraceRecord> records = {
+      delivered(30, 1, 3), delivered(10, 1, 1), delivered(20, 1, 2),
+      delivered(15, 0, 1)};
+  const DeliveryMap m = delivery_map(records);
+  ASSERT_EQ(m.by_host.size(), 2u);
+  EXPECT_EQ(m.by_host.at(1), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(m.by_host.at(0), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(m.max_seq, 3u);
+  EXPECT_EQ(m.last_delivery_at, 30);
+}
+
+TEST(Compare, IdenticalSetsMatchAcrossDifferentTimings) {
+  // Virtual vs wall timestamps differ wildly; only the sets matter.
+  const std::vector<TraceRecord> sim_run = {delivered(1000, 0, 1),
+                                            delivered(2000, 1, 1)};
+  const std::vector<TraceRecord> real_run = {delivered(987654, 1, 1),
+                                             delivered(123456, 0, 1)};
+  const TraceComparison cmp = compare_traces(sim_run, real_run);
+  EXPECT_TRUE(cmp.match);
+  EXPECT_TRUE(cmp.divergences.empty());
+}
+
+TEST(Compare, MissingHostAndMissingSeqDiverge) {
+  const std::vector<TraceRecord> left = {delivered(1, 0, 1), delivered(2, 0, 2),
+                                         delivered(3, 1, 1)};
+  const std::vector<TraceRecord> right = {delivered(1, 0, 1),
+                                          delivered(2, 0, 2)};
+  const TraceComparison cmp = compare_traces(left, right);
+  EXPECT_FALSE(cmp.match);
+  ASSERT_FALSE(cmp.divergences.empty());
+  EXPECT_NE(cmp.divergences[0].find("h1"), std::string::npos);
+
+  const std::vector<TraceRecord> gap = {delivered(1, 0, 1), delivered(3, 1, 1)};
+  const TraceComparison cmp2 = compare_traces(left, gap);
+  EXPECT_FALSE(cmp2.match);
+  bool names_seq = false;
+  for (const std::string& d : cmp2.divergences) {
+    names_seq = names_seq || d.find("only in left") != std::string::npos;
+  }
+  EXPECT_TRUE(names_seq);
+}
+
+TEST(Compare, DuplicateDeliveryBreaksTheMatch) {
+  // The protocol promises at-most-once; a duplicated "delivered" record in
+  // one trace must diverge even though the sets' unique elements agree.
+  const std::vector<TraceRecord> clean = {delivered(1, 0, 1)};
+  const std::vector<TraceRecord> dup = {delivered(1, 0, 1),
+                                        delivered(2, 0, 1)};
+  const TraceComparison cmp = compare_traces(clean, dup);
+  EXPECT_FALSE(cmp.match);
+}
+
+TEST(Compare, EmptyTracesNeverMatch) {
+  const TraceComparison cmp = compare_traces({}, {});
+  EXPECT_FALSE(cmp.match);
+  ASSERT_FALSE(cmp.divergences.empty());
+}
+
+TEST_F(TracedRunTest, CompareIsReflexiveAndPrintsAReport) {
+  const TraceComparison cmp = compare_traces(*records_, *records_);
+  EXPECT_TRUE(cmp.match);
+  EXPECT_EQ(cmp.left.by_host.size(), static_cast<std::size_t>(host_count_));
+  EXPECT_EQ(cmp.left.max_seq, 6u);
+
+  std::ostringstream os;
+  print_comparison(os, cmp, "sim.jsonl", "real.jsonl");
+  EXPECT_NE(os.str().find("MATCH"), std::string::npos);
+  EXPECT_NE(os.str().find("sim.jsonl"), std::string::npos);
+
+  // Removing one host's deliveries must flip the verdict and name the host.
+  std::vector<TraceRecord> pruned;
+  for (const TraceRecord& r : *records_) {
+    if (r.category == "protocol" && r.name == "delivered" && r.host.value == 2)
+      continue;
+    pruned.push_back(r);
+  }
+  const TraceComparison diverged = compare_traces(*records_, pruned);
+  EXPECT_FALSE(diverged.match);
+  std::ostringstream os2;
+  print_comparison(os2, diverged, "a", "b");
+  EXPECT_NE(os2.str().find("DIVERGED"), std::string::npos);
+  EXPECT_NE(os2.str().find("h2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rbcast::trace

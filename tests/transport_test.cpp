@@ -1,0 +1,277 @@
+// The Transport seam: SimTransport must be a pure forwarding adapter over
+// net::Network, UdpTransport must move real datagrams between sockets
+// (ephemeral ports, defensive decoding, counted stats), and the seeded
+// impairment shim must reproduce exactly per seed.
+#include "transport/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_host.h"
+#include "core/messages.h"
+#include "core/wire_codec.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/generators.h"
+#include "transport/impairment.h"
+#include "transport/sim_transport.h"
+#include "transport/udp_transport.h"
+#include "transport/wire.h"
+#include "util/real_time_scheduler.h"
+#include "util/rng.h"
+
+namespace rbcast::transport {
+namespace {
+
+// --- SimTransport -----------------------------------------------------------
+
+TEST(SimTransport, ForwardsSendsAndDeliveriesThroughTheNetwork) {
+  sim::Simulator sim;
+  topo::ClusteredWanOptions opts;
+  opts.clusters = 1;
+  opts.hosts_per_cluster = 2;
+  topo::Wan wan = make_clustered_wan(opts);
+  util::RngFactory rngs(3);
+  net::Network network(sim, wan.topology, net::NetConfig{}, rngs);
+  SimTransport transport(sim, network);
+
+  EXPECT_EQ(&transport.scheduler(), static_cast<util::Scheduler*>(&sim));
+
+  std::vector<std::string> got;
+  net::HostEndpoint& ep0 =
+      transport.attach(HostId{0}, [&](const net::Delivery& d) {
+        got.push_back("h0<-" + std::to_string(d.from.value));
+      });
+  transport.attach(HostId{1}, [&](const net::Delivery& d) {
+    got.push_back("h1<-" + std::to_string(d.from.value));
+  });
+  EXPECT_EQ(ep0.self(), HostId{0});
+
+  ep0.send(HostId{1}, std::any{std::string("ping")}, 16, "data", 0);
+  sim.run_for(sim::seconds(1));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "h1<-0");
+}
+
+TEST(SimTransport, DetachSilencesTheUpcallWithoutUnregistering) {
+  sim::Simulator sim;
+  topo::ClusteredWanOptions opts;
+  opts.clusters = 1;
+  opts.hosts_per_cluster = 2;
+  topo::Wan wan = make_clustered_wan(opts);
+  util::RngFactory rngs(3);
+  net::Network network(sim, wan.topology, net::NetConfig{}, rngs);
+  SimTransport transport(sim, network);
+
+  int delivered = 0;
+  net::HostEndpoint& ep0 =
+      transport.attach(HostId{0}, [&](const net::Delivery&) {});
+  transport.attach(HostId{1}, [&](const net::Delivery&) { ++delivered; });
+  transport.detach(HostId{1});
+
+  // The network still routes (registration is permanent) but the detached
+  // host's callback must never run again.
+  ep0.send(HostId{1}, std::any{std::string("late")}, 16, "data", 0);
+  sim.run_for(sim::seconds(1));
+  EXPECT_EQ(delivered, 0);
+}
+
+// --- UdpTransport -----------------------------------------------------------
+
+UdpTransport::Config two_host_config() {
+  UdpTransport::Config cfg;
+  cfg.peers = {{HostId{0}, "127.0.0.1", 0}, {HostId{1}, "127.0.0.1", 0}};
+  return cfg;
+}
+
+TEST(UdpTransport, DeliversAcrossRealSockets) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  std::vector<core::ProtocolMessage> got;
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+  udp.attach(HostId{1}, [&](const net::Delivery& d) {
+    if (const auto* m = std::any_cast<core::ProtocolMessage>(&d.payload)) {
+      got.push_back(*m);
+    }
+    rt.stop();
+  });
+  // Both ephemeral ports resolved and published to the local peer table.
+  EXPECT_NE(udp.local_port(HostId{0}), 0);
+  EXPECT_NE(udp.local_port(HostId{1}), 0);
+
+  core::DataMsg data;
+  data.seq = 5;
+  data.body = "over the wire";
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 64, "data", 7);
+
+  rt.run_for(util::seconds(5));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(std::get<core::DataMsg>(got[0]).seq, 5u);
+  EXPECT_EQ(std::get<core::DataMsg>(got[0]).body, "over the wire");
+  EXPECT_EQ(udp.stats().datagrams_sent, 1u);
+  EXPECT_EQ(udp.stats().datagrams_received, 1u);
+}
+
+TEST(UdpTransport, GarbageDatagramsAreCountedAndDropped) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int upcalls = 0;
+  int empty_payloads = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery& d) {
+    ++upcalls;
+    if (!d.payload.has_value()) ++empty_payloads;
+  });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  // A frame-level corruption: valid payload, then scribble on the magic.
+  core::DataMsg data;
+  data.seq = 1;
+  Frame frame;
+  frame.from = HostId{0};
+  frame.to = HostId{1};
+  frame.kind = "data";
+  ASSERT_TRUE(codec.encode(std::any{core::ProtocolMessage{data}},
+                           frame.payload));
+  std::string garbage = encode_frame(frame);
+  garbage[0] = 'X';
+
+  // Send it raw, straight into host 1's socket.
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(udp.local_port(HostId{1}));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &to.sin_addr), 1);
+  ASSERT_EQ(::sendto(fd, garbage.data(), garbage.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&to), sizeof(to)),
+            static_cast<ssize_t>(garbage.size()));
+
+  // A payload-level corruption: valid frame, garbage body — must reach the
+  // host as an EMPTY payload so BroadcastHost can count it.
+  frame.payload = "not a protocol message";
+  const std::string bad_body = encode_frame(frame);
+  ASSERT_EQ(::sendto(fd, bad_body.data(), bad_body.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&to), sizeof(to)),
+            static_cast<ssize_t>(bad_body.size()));
+  ::close(fd);
+
+  // And one good message, to bound the wait.
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 64, "data", 0);
+
+  rt.after(util::seconds(3), [&] { rt.stop(); });
+  std::function<void()> poll = [&] {
+    if (udp.stats().datagrams_received >= 3) {
+      rt.stop();
+    } else {
+      rt.after(util::milliseconds(20), poll);
+    }
+  };
+  rt.after(util::milliseconds(20), poll);
+  rt.run_for(util::seconds(4));
+
+  EXPECT_EQ(udp.stats().frame_decode_errors, 1u);
+  EXPECT_EQ(udp.stats().payload_decode_errors, 1u);
+  EXPECT_EQ(empty_payloads, 1);
+  EXPECT_EQ(upcalls, 2);  // the bad-frame datagram never reaches the host
+}
+
+TEST(UdpTransport, RunsTwoBroadcastHostsEndToEnd) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  core::Config fast;
+  fast.attach_period = util::milliseconds(50);
+  fast.info_period_intra = util::milliseconds(30);
+  fast.info_period_inter = util::milliseconds(100);
+  fast.gapfill_period_neighbor = util::milliseconds(50);
+  fast.gapfill_period_far = util::milliseconds(200);
+  fast.parent_timeout = util::seconds(1);
+  fast.attach_ack_timeout = util::milliseconds(100);
+  fast.data_bytes = 16;
+
+  const std::vector<HostId> all{HostId{0}, HostId{1}};
+  util::RngFactory rngs(11);
+  std::vector<util::Seq> delivered;
+  core::BroadcastHost source(udp, HostId{0}, HostId{0}, all, fast,
+                             rngs.stream("host.jitter", 0));
+  core::BroadcastHost sink(
+      udp, HostId{1}, HostId{0}, all, fast, rngs.stream("host.jitter", 1),
+      [&](util::Seq seq, const std::string&) { delivered.push_back(seq); });
+  source.start();
+  sink.start();
+
+  rt.after(util::milliseconds(100), [&] { source.broadcast("one"); });
+  rt.after(util::milliseconds(200), [&] { source.broadcast("two"); });
+  std::function<void()> poll = [&] {
+    if (delivered.size() >= 2) {
+      rt.stop();
+    } else {
+      rt.after(util::milliseconds(50), poll);
+    }
+  };
+  rt.after(util::milliseconds(50), poll);
+  rt.run_for(util::seconds(10));
+
+  EXPECT_EQ(delivered, (std::vector<util::Seq>{1, 2}));
+  EXPECT_EQ(sink.counters().decode_errors, 0u);
+}
+
+// --- impairment -------------------------------------------------------------
+
+TEST(Impairment, SameSeedSamePlanSequence) {
+  ImpairmentConfig cfg;
+  cfg.loss = 0.2;
+  cfg.duplicate = 0.15;
+  cfg.reorder = 0.3;
+  cfg.seed = 99;
+  Impairment a(cfg);
+  Impairment b(cfg);
+  int drops = 0;
+  int dups = 0;
+  int delays = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ImpairmentPlan pa = a.next();
+    const ImpairmentPlan pb = b.next();
+    EXPECT_EQ(pa.dropped, pb.dropped);
+    EXPECT_EQ(pa.copies, pb.copies);
+    EXPECT_EQ(pa.delay[0], pb.delay[0]);
+    EXPECT_EQ(pa.delay[1], pb.delay[1]);
+    if (pa.dropped) ++drops;
+    if (pa.copies > 1) ++dups;
+    if (pa.delay[0] > 0 || pa.delay[1] > 0) ++delays;
+    for (int c = 0; c < ImpairmentPlan::kMaxCopies; ++c) {
+      EXPECT_GE(pa.delay[c], 0);
+      EXPECT_LE(pa.delay[c], cfg.delay_max);
+    }
+  }
+  // All three knobs actually fire at roughly their configured rates.
+  EXPECT_GT(drops, 5000 / 10);
+  EXPECT_GT(dups, 5000 / 20);
+  EXPECT_GT(delays, 5000 / 10);
+}
+
+TEST(Impairment, DisabledConfigMeansCleanPlans) {
+  const ImpairmentConfig clean;
+  EXPECT_FALSE(clean.enabled());
+  ImpairmentConfig lossy;
+  lossy.loss = 0.01;
+  EXPECT_TRUE(lossy.enabled());
+}
+
+}  // namespace
+}  // namespace rbcast::transport

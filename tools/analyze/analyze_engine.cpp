@@ -432,16 +432,25 @@ std::string json_escape(std::string_view s) {
 
 LayerSpec default_layer_spec() {
   LayerSpec spec;
-  // util -> sim -> topo -> net -> core -> trace/model -> harness.
-  // A file may include same-rank and lower-rank layers only.
+  // util -> sim -> topo -> net -> transport -> core -> trace/model ->
+  // harness. A file may include same-rank and lower-rank layers only.
   spec.rank = {
-      {"util", 0}, {"sim", 1},   {"topo", 2},  {"net", 3},
-      {"core", 4}, {"trace", 5}, {"model", 5}, {"harness", 6},
+      {"util", 0},  {"sim", 1},   {"topo", 2},  {"net", 3}, {"transport", 4},
+      {"core", 5},  {"trace", 6}, {"model", 6}, {"harness", 7},
   };
   // The Transport-extraction precondition: the protocol automaton must not
   // reach into the simulator or the experiment harness even though their
   // ranks would otherwise allow (sim) the edge.
   spec.forbidden = {{"core", "sim"}, {"core", "harness"}};
+  // Backend blindness: core sees the network and the transport layer only
+  // through their abstract interface headers. Concrete endpoints
+  // (net/network.h) and backends (transport/udp_transport.h,
+  // transport/sim_transport.h) are off limits even though the rank order
+  // would permit them.
+  spec.interface_only = {
+      {"core", "transport", {"src/transport/transport.h"}},
+      {"core", "net", {"src/net/message.h"}},
+  };
   return spec;
 }
 
@@ -498,12 +507,26 @@ AnalysisResult analyze(const std::vector<FileInput>& files,
           std::find(layers.forbidden.begin(), layers.forbidden.end(),
                     std::make_pair(from_layer, to_layer)) !=
           layers.forbidden.end();
+      const LayerSpec::InterfaceEdge* iface = nullptr;
+      for (const auto& e : layers.interface_only) {
+        if (e.from == from_layer && e.to == to_layer) {
+          iface = &e;
+          break;
+        }
+      }
       if (forbidden) {
         add(fa, edge.line, "layer-violation",
             "forbidden edge " + from_layer + " -> " + to_layer +
                 ": core must stay runnable without the " + to_layer +
                 " layer (Transport extraction precondition); depend on the "
                 "util abstraction instead");
+      } else if (iface != nullptr &&
+                 iface->headers.find(edge.to) == iface->headers.end()) {
+        add(fa, edge.line, "layer-violation",
+            "edge " + from_layer + " -> " + to_layer +
+                " is interface-only: '" + edge.to +
+                "' is a concrete header; include only the abstract "
+                "interface (" + *iface->headers.begin() + ")");
       } else if (to_rank->second > from_rank->second) {
         add(fa, edge.line, "layer-violation",
             "include of '" + edge.to + "' climbs the layer DAG (" +

@@ -81,6 +81,16 @@ struct LayerSpec {
   std::map<std::string, int> rank;
   // from-layer -> to-layer edges banned even when ranks would allow them.
   std::vector<std::pair<std::string, std::string>> forbidden;
+  // from-layer -> to-layer edges allowed ONLY through the named headers
+  // (resolved repo-relative paths), regardless of rank. This is how
+  // "core may see the abstract Transport interface but never a backend"
+  // is enforced by the gate instead of by convention.
+  struct InterfaceEdge {
+    std::string from;
+    std::string to;
+    std::set<std::string> headers;
+  };
+  std::vector<InterfaceEdge> interface_only;
 };
 
 // The repo's declared DAG (see DESIGN.md §11).

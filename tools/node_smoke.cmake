@@ -1,0 +1,42 @@
+# End-to-end dual-backend smoke driven by the node_cli_smoke ctest:
+#
+#   1. run the 32-host single-cluster workload over real UDP sockets
+#      (rbcast_node --all-hosts, seeded impairment, ephemeral ports) with
+#      a wall-clock convergence deadline;
+#   2. run the same workload in the simulator (rbcast_sim, one cluster of
+#      32 hosts, same message count);
+#   3. rbcast_trace --compare must report identical per-host delivery sets
+#      — the protocol promise that may not depend on which backend ran.
+set(real_trace ${WORK_DIR}/node_smoke.real.jsonl)
+set(sim_trace ${WORK_DIR}/node_smoke.sim.jsonl)
+
+execute_process(
+  COMMAND ${RBCAST_NODE} --config ${NODE_CONFIG} --all-hosts
+          --trace-out ${real_trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rbcast_node run failed (${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "converged: yes")
+  message(FATAL_ERROR "rbcast_node did not converge:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${RBCAST_SIM} --clusters 1 --hosts 32 --messages 20 --seed 1
+          --trace-out ${sim_trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rbcast_sim run failed (${rc}):\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${RBCAST_TRACE} --compare ${sim_trace} ${real_trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "sim and real delivery sets diverge (${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "MATCH")
+  message(FATAL_ERROR "compare did not report MATCH:\n${out}")
+endif()
+message(STATUS "node smoke passed: ${real_trace} vs ${sim_trace}")

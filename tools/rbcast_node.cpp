@@ -1,0 +1,398 @@
+// rbcast_node — the protocol over real UDP sockets.
+//
+// Runs BroadcastHost instances on util::RealTimeScheduler +
+// transport::UdpTransport: the same protocol automaton the simulator
+// drives, now on the wall clock against real (localhost or LAN) datagram
+// sockets. A JSON config names every host's address; one process can run
+// a single host (`--host N`, one process per machine — the deployment
+// shape) or the whole topology (`--all-hosts` — the integration-test
+// shape, where port 0 entries bind ephemeral ports).
+//
+// The run streams `messages` broadcasts from the source, then waits for
+// every locally hosted instance to hold the full sequence set; exit 0 on
+// convergence before the deadline, 1 otherwise. With --trace-out the run
+// emits the same JSONL schema as rbcast_sim, so
+// `rbcast_trace --compare sim.jsonl real.jsonl` diffs a simulated and a
+// real run of one workload.
+//
+// Config example (tests/data/node_32.json is the CI one):
+//   {
+//     "hosts": [{"id": 0, "addr": "127.0.0.1", "port": 0}, ...],
+//     "source": 0, "seed": 1,
+//     "messages": 20, "interval_ms": 100, "run_s": 30,
+//     "impairment": {"loss": 0.05, "duplicate": 0.02, "reorder": 0.1,
+//                    "delay_max_ms": 10, "seed": 7},
+//     "protocol": {"attach_period_ms": 200, "info_intra_ms": 100, ...}
+//   }
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_host.h"
+#include "core/config.h"
+#include "core/wire_codec.h"
+#include "trace/event_log.h"
+#include "trace/net_tap.h"
+#include "trace/trace_sink.h"
+#include "transport/udp_transport.h"
+#include "util/json.h"
+#include "util/real_time_scheduler.h"
+#include "util/rng.h"
+
+using namespace rbcast;
+
+namespace {
+
+constexpr const char* kContext = "node config";
+
+struct NodeConfig {
+  std::vector<transport::UdpTransport::Peer> peers;
+  HostId source{0};
+  std::uint64_t seed{1};
+  int messages{20};
+  util::Duration interval{util::milliseconds(100)};
+  util::Duration run_for{util::seconds(30)};
+  transport::ImpairmentConfig impairment;
+  core::Config protocol;
+};
+
+struct CliOptions {
+  std::string config_path;
+  std::int32_t host = -1;  // --host N; -1 = --all-hosts
+  bool all_hosts = false;
+  std::string trace_out;
+  double run_s = -1;            // <0: take the config's value
+  std::uint64_t seed = 0;       // 0: take the config's value
+};
+
+// Reads a millisecond count into a Duration, falling back to `fallback`
+// when the key is absent.
+util::Duration ms_or(const util::Json& obj, const char* key,
+                     util::Duration fallback) {
+  const double ms = util::json_num_or(obj, key, util::to_seconds(fallback) *
+                                                    1e3, kContext);
+  return util::from_seconds(ms / 1e3);
+}
+
+NodeConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::Json root = util::parse_json(buffer.str(), kContext);
+
+  NodeConfig cfg;
+  const util::Json* hosts = root.find("hosts");
+  if (hosts == nullptr || hosts->type != util::Json::Type::kArray ||
+      hosts->items.empty()) {
+    throw std::invalid_argument(
+        std::string(kContext) + ": 'hosts' must be a non-empty array");
+  }
+  for (const util::Json& h : hosts->items) {
+    transport::UdpTransport::Peer peer;
+    const int id = util::json_int_or(h, "id", -1, kContext);
+    if (id < 0) {
+      throw std::invalid_argument(std::string(kContext) +
+                                  ": every host needs a non-negative 'id'");
+    }
+    peer.host = HostId{id};
+    peer.addr = util::json_str_or(h, "addr", "127.0.0.1", kContext);
+    const int port = util::json_int_or(h, "port", 0, kContext);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument(std::string(kContext) +
+                                  ": 'port' out of range");
+    }
+    peer.port = static_cast<std::uint16_t>(port);
+    cfg.peers.push_back(peer);
+  }
+
+  cfg.source = HostId{util::json_int_or(root, "source", 0, kContext)};
+  cfg.seed = static_cast<std::uint64_t>(
+      util::json_num_or(root, "seed", 1, kContext));
+  cfg.messages = util::json_int_or(root, "messages", 20, kContext);
+  cfg.interval = ms_or(root, "interval_ms", cfg.interval);
+  cfg.run_for = util::from_seconds(
+      util::json_num_or(root, "run_s", 30, kContext));
+
+  if (const util::Json* imp = root.find("impairment"); imp != nullptr) {
+    cfg.impairment.loss = util::json_num_or(*imp, "loss", 0, kContext);
+    cfg.impairment.duplicate =
+        util::json_num_or(*imp, "duplicate", 0, kContext);
+    cfg.impairment.reorder = util::json_num_or(*imp, "reorder", 0, kContext);
+    cfg.impairment.delay_max =
+        ms_or(*imp, "delay_max_ms", cfg.impairment.delay_max);
+    cfg.impairment.seed = static_cast<std::uint64_t>(
+        util::json_num_or(*imp, "seed", 0, kContext));
+  }
+
+  // Real-time defaults are much tighter than the simulator's: a localhost
+  // test must converge in wall seconds, not virtual minutes. Every period
+  // is still overridable per config.
+  core::Config& p = cfg.protocol;
+  p.attach_period = util::milliseconds(200);
+  p.info_period_intra = util::milliseconds(100);
+  p.info_period_inter = util::milliseconds(400);
+  p.gapfill_period_neighbor = util::milliseconds(200);
+  p.gapfill_period_far = util::milliseconds(800);
+  p.parent_timeout = util::seconds(2);
+  p.attach_ack_timeout = util::milliseconds(300);
+  p.child_timeout = util::seconds(6);
+  p.gapfill_suppress_period = util::milliseconds(600);
+  p.data_bytes = 64;
+  if (const util::Json* proto = root.find("protocol"); proto != nullptr) {
+    p.attach_period = ms_or(*proto, "attach_period_ms", p.attach_period);
+    p.info_period_intra =
+        ms_or(*proto, "info_intra_ms", p.info_period_intra);
+    p.info_period_inter =
+        ms_or(*proto, "info_inter_ms", p.info_period_inter);
+    p.gapfill_period_neighbor =
+        ms_or(*proto, "gapfill_neighbor_ms", p.gapfill_period_neighbor);
+    p.gapfill_period_far =
+        ms_or(*proto, "gapfill_far_ms", p.gapfill_period_far);
+    p.parent_timeout = ms_or(*proto, "parent_timeout_ms", p.parent_timeout);
+    p.attach_ack_timeout =
+        ms_or(*proto, "attach_ack_timeout_ms", p.attach_ack_timeout);
+    p.child_timeout = ms_or(*proto, "child_timeout_ms", p.child_timeout);
+    p.gapfill_suppress_period =
+        ms_or(*proto, "gapfill_suppress_ms", p.gapfill_suppress_period);
+    p.data_bytes = static_cast<std::size_t>(
+        util::json_int_or(*proto, "data_bytes",
+                          static_cast<int>(p.data_bytes), kContext));
+  }
+  return cfg;
+}
+
+void usage() {
+  std::cout <<
+      "rbcast_node — reliable broadcast over real UDP sockets\n\n"
+      "usage: rbcast_node --config CONFIG.json (--host N | --all-hosts)\n"
+      "                   [--trace-out F] [--run-s T] [--seed N]\n\n"
+      "  --config F      JSON topology + workload (see tools/rbcast_node.cpp\n"
+      "                  header for the schema)\n"
+      "  --host N        run only host N in this process (one process per\n"
+      "                  machine; every peer needs a fixed port)\n"
+      "  --all-hosts     run the whole topology in this process (integration\n"
+      "                  tests; port 0 entries bind ephemeral ports)\n"
+      "  --trace-out F   stream a JSONL trace (same schema as rbcast_sim;\n"
+      "                  diff the two with rbcast_trace --compare)\n"
+      "  --run-s T       override the config's wall-clock deadline\n"
+      "  --seed N        override the config's seed\n"
+      "  --help          this text\n\n"
+      "Exits 0 when every host in this process delivered the whole stream\n"
+      "before the deadline, 1 otherwise.\n";
+}
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--all-hosts") {
+      options.all_hosts = true;
+    } else if (arg == "--config") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.config_path = value;
+    } else if (arg == "--host") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.host = std::atoi(value);
+    } else if (arg == "--trace-out") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.trace_out = value;
+    } else if (arg == "--run-s") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.run_s = std::atof(value);
+    } else if (arg == "--seed") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      return false;
+    }
+  }
+  if (options.config_path.empty()) {
+    std::cerr << "--config is required (try --help)\n";
+    return false;
+  }
+  if (options.all_hosts == (options.host >= 0)) {
+    std::cerr << "exactly one of --host N / --all-hosts is required\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  NodeConfig cfg;
+  try {
+    cfg = load_config(cli.config_path);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (cli.run_s >= 0) cfg.run_for = util::from_seconds(cli.run_s);
+  if (cli.seed != 0) cfg.seed = cli.seed;
+
+  std::vector<HostId> all_hosts;
+  all_hosts.reserve(cfg.peers.size());
+  for (const auto& peer : cfg.peers) all_hosts.push_back(peer.host);
+
+  std::vector<HostId> local_hosts;
+  if (cli.all_hosts) {
+    local_hosts = all_hosts;
+  } else {
+    const HostId wanted{cli.host};
+    for (const HostId h : all_hosts) {
+      if (h == wanted) local_hosts.push_back(h);
+    }
+    if (local_hosts.empty()) {
+      std::cerr << "host " << cli.host << " is not in the config's host "
+                << "table\n";
+      return 2;
+    }
+  }
+
+  // --- wiring: scheduler -> codec -> transport -> hosts --------------------
+
+  util::RealTimeScheduler scheduler;
+  const core::ProtocolCodec codec;
+  transport::UdpTransport::Config tcfg;
+  tcfg.peers = cfg.peers;
+  tcfg.impairment = cfg.impairment;
+
+  std::ofstream trace_file;
+  std::unique_ptr<trace::JsonlSink> sink;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << cli.trace_out << " for writing\n";
+      return 2;
+    }
+    sink = std::make_unique<trace::JsonlSink>(trace_file);
+  }
+
+  trace::EventLog events(scheduler);
+  std::unique_ptr<trace::NetTap> tap;
+
+  int exit_code = 1;
+  try {
+    transport::UdpTransport transport(scheduler, codec, std::move(tcfg));
+
+    if (sink != nullptr) {
+      std::ostringstream topo;
+      topo << "udp-" << all_hosts.size() << "-hosts";
+      sink->record(trace::run_manifest(cfg.seed, topo.str(), "paper",
+                                       trace::describe_config(cfg.protocol)));
+      events.set_sink(sink.get());
+      tap = std::make_unique<trace::NetTap>(scheduler, *sink);
+      transport.set_observer(tap.get());
+    }
+
+    util::RngFactory rngs(cfg.seed);
+    std::vector<std::unique_ptr<core::BroadcastHost>> hosts;
+    hosts.reserve(local_hosts.size());
+    for (const HostId h : local_hosts) {
+      hosts.push_back(std::make_unique<core::BroadcastHost>(
+          transport, h, cfg.source, all_hosts, cfg.protocol,
+          rngs.stream("host.jitter", h.value)));
+      hosts.back()->set_observer(&events);
+    }
+    for (auto& host : hosts) host->start();
+
+    // --- workload: the source streams `messages` broadcasts ----------------
+
+    core::BroadcastHost* source = nullptr;
+    for (auto& host : hosts) {
+      if (host->is_source()) source = host.get();
+    }
+    int sent = 0;
+    std::function<void()> send_next = [&] {
+      if (source == nullptr || sent >= cfg.messages) return;
+      ++sent;
+      source->broadcast(std::string(cfg.protocol.data_bytes, 'x'));
+      if (sent < cfg.messages) scheduler.after(cfg.interval, send_next);
+    };
+    if (source != nullptr && cfg.messages > 0) {
+      scheduler.after(cfg.interval, send_next);
+    }
+
+    // --- convergence poll ---------------------------------------------------
+
+    // Every locally hosted instance must hold seqs 1..messages; once true,
+    // stop the loop early instead of sleeping out the deadline.
+    util::TimePoint converged_at = -1;
+    std::function<void()> poll = [&] {
+      bool done = sent >= cfg.messages || source == nullptr;
+      for (auto& host : hosts) {
+        done = done &&
+               host->info().count() == static_cast<std::uint64_t>(cfg.messages);
+      }
+      if (done) {
+        converged_at = scheduler.now();
+        scheduler.stop();
+        return;
+      }
+      scheduler.after(util::milliseconds(200), poll);
+    };
+    scheduler.after(util::milliseconds(200), poll);
+
+    scheduler.run_until(cfg.run_for);
+
+    // --- report -------------------------------------------------------------
+
+    const auto& stats = transport.stats();
+    std::cout << "hosts: " << hosts.size() << "/" << all_hosts.size()
+              << " local  messages: " << sent << "/" << cfg.messages
+              << "  seed: " << cfg.seed << "\n";
+    std::cout << "datagrams: " << stats.datagrams_sent << " sent, "
+              << stats.datagrams_received << " received, "
+              << stats.frame_decode_errors << " frame errors, "
+              << stats.payload_decode_errors << " payload errors, "
+              << stats.impair_drops << " impaired away\n";
+    if (converged_at >= 0) {
+      std::cout << "converged: yes at " << util::to_seconds(converged_at)
+                << "s\n";
+      exit_code = 0;
+    } else {
+      std::cout << "converged: NO within " << util::to_seconds(cfg.run_for)
+                << "s\n";
+      for (auto& host : hosts) {
+        if (host->info().count() ==
+            static_cast<std::uint64_t>(cfg.messages)) {
+          continue;
+        }
+        std::cout << "  h" << host->self().value << " holds "
+                  << host->info().count() << "/" << cfg.messages << "\n";
+      }
+      exit_code = 1;
+    }
+    // Hosts detach from the transport here, before either dies.
+    hosts.clear();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (sink != nullptr) {
+    sink->close();
+    std::cerr << "wrote " << cli.trace_out << "\n";
+  }
+  return exit_code;
+}

@@ -3,7 +3,9 @@
 // Loads a trace written by `rbcast_sim --trace-out` (or any JsonlSink)
 // and answers the questions an experimenter asks of a finished run:
 // what happened overall, what one host did, how one broadcast message
-// propagated, and how the tree converged.
+// propagated, and how the tree converged. --compare diffs two traces of
+// the same workload — canonically one simulated and one over real UDP
+// sockets (rbcast_node) — on per-host delivery sets.
 //
 // Examples:
 //   rbcast_sim --clusters 4 --messages 20 --trace-out run.jsonl
@@ -11,6 +13,7 @@
 //   rbcast_trace --timeline 3 run.jsonl
 //   rbcast_trace --lineage 7 run.jsonl
 //   rbcast_trace --convergence run.jsonl
+//   rbcast_trace --compare sim.jsonl real.jsonl
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,19 +26,21 @@ using namespace rbcast;
 
 namespace {
 
-enum class Mode { kSummary, kTimeline, kLineage, kConvergence };
+enum class Mode { kSummary, kTimeline, kLineage, kConvergence, kCompare };
 
 struct CliOptions {
   Mode mode = Mode::kSummary;
   std::int32_t host = -1;     // --timeline
   std::uint64_t seq = 0;      // --lineage
   std::string trace_path;
+  std::string compare_path;   // second trace, --compare only
 };
 
 void usage() {
   std::cout <<
       "rbcast_trace — analyze a JSONL run trace\n\n"
-      "usage: rbcast_trace [mode] TRACE.jsonl\n\n"
+      "usage: rbcast_trace [mode] TRACE.jsonl\n"
+      "       rbcast_trace --compare LEFT.jsonl RIGHT.jsonl\n\n"
       "modes (default --summary):\n"
       "  --summary          manifest, record counts, deliveries, drops\n"
       "  --timeline HOST    every record on host HOST's track, in order\n"
@@ -43,9 +48,12 @@ void usage() {
       "                     message SEQ across the network\n"
       "  --convergence      attachment / cycle-break timeline and when the\n"
       "                     tree last changed shape\n"
+      "  --compare          diff two traces of the same workload on per-host\n"
+      "                     delivery sets (sim vs real divergence report);\n"
+      "                     exits 1 when they diverge\n"
       "  --help             this text\n\n"
-      "Traces come from `rbcast_sim --trace-out F` or any "
-      "trace::JsonlSink.\n";
+      "Traces come from `rbcast_sim --trace-out F`, `rbcast_node "
+      "--trace-out F`,\nor any trace::JsonlSink.\n";
 }
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -56,7 +64,7 @@ bool parse(int argc, char** argv, CliOptions& options) {
     }
     return argv[++i];
   };
-  bool have_path = false;
+  int paths = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* value = nullptr;
@@ -67,6 +75,8 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.mode = Mode::kSummary;
     } else if (arg == "--convergence") {
       options.mode = Mode::kConvergence;
+    } else if (arg == "--compare") {
+      options.mode = Mode::kCompare;
     } else if (arg == "--timeline") {
       if ((value = need_value(i)) == nullptr) return false;
       options.mode = Mode::kTimeline;
@@ -78,20 +88,49 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";
       return false;
-    } else {
-      if (have_path) {
-        std::cerr << "more than one trace file given\n";
-        return false;
-      }
+    } else if (paths == 0) {
       options.trace_path = arg;
-      have_path = true;
+      ++paths;
+    } else if (paths == 1) {
+      options.compare_path = arg;
+      ++paths;
+    } else {
+      std::cerr << "more than two trace files given\n";
+      return false;
     }
   }
-  if (!have_path) {
-    std::cerr << "no trace file given (try --help)\n";
+  const int want = options.mode == Mode::kCompare ? 2 : 1;
+  if (paths < want) {
+    std::cerr << (want == 2 ? "--compare needs two trace files"
+                            : "no trace file given")
+              << " (try --help)\n";
+    return false;
+  }
+  if (paths > want) {
+    std::cerr << "more than one trace file given\n";
     return false;
   }
   return true;
+}
+
+// Loads one JSONL trace, exiting the process on unreadable/malformed input.
+std::vector<trace::TraceRecord> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<trace::TraceRecord> records;
+  std::string error;
+  if (!trace::read_jsonl(in, &records, &error)) {
+    std::cerr << path << ": " << error << "\n";
+    std::exit(2);
+  }
+  if (records.empty()) {
+    std::cerr << path << ": empty trace\n";
+    std::exit(1);
+  }
+  return records;
 }
 
 }  // namespace
@@ -100,21 +139,7 @@ int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse(argc, argv, cli)) return 2;
 
-  std::ifstream in(cli.trace_path);
-  if (!in) {
-    std::cerr << "cannot open " << cli.trace_path << "\n";
-    return 2;
-  }
-  std::vector<trace::TraceRecord> records;
-  std::string error;
-  if (!trace::read_jsonl(in, &records, &error)) {
-    std::cerr << cli.trace_path << ": " << error << "\n";
-    return 2;
-  }
-  if (records.empty()) {
-    std::cerr << cli.trace_path << ": empty trace\n";
-    return 1;
-  }
+  const std::vector<trace::TraceRecord> records = load_trace(cli.trace_path);
 
   switch (cli.mode) {
     case Mode::kSummary:
@@ -142,6 +167,14 @@ int main(int argc, char** argv) {
     case Mode::kConvergence:
       trace::print_convergence(std::cout, records);
       break;
+    case Mode::kCompare: {
+      const std::vector<trace::TraceRecord> right =
+          load_trace(cli.compare_path);
+      const trace::TraceComparison cmp = trace::compare_traces(records, right);
+      trace::print_comparison(std::cout, cmp, cli.trace_path,
+                              cli.compare_path);
+      return cmp.match ? 0 : 1;
+    }
   }
   return 0;
 }
