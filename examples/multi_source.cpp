@@ -40,7 +40,7 @@ int main() {
     const auto idx = static_cast<std::size_t>(h.value);
     nodes.push_back(std::make_unique<core::MultiSourceNode>(
         simulator, network.endpoint(h), sources, all, core::Config{}, rngs,
-        [&delivered, idx](HostId source, util::Seq, const std::string&) {
+        [&delivered, idx](HostId source, util::Seq, std::string_view) {
           ++delivered[idx][source];
         }));
     network.register_host(h, [&nodes, idx](const net::Delivery& d) {

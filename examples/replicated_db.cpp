@@ -33,10 +33,10 @@ struct Replica {
   int out_of_order = 0;  // how many arrived below the highest seq seen
   util::Seq highest_seen = 0;
 
-  void apply(util::Seq seq, const std::string& body) {
+  void apply(util::Seq seq, std::string_view body) {
     const auto colon = body.find(':');
-    accounts[body.substr(0, colon)] +=
-        std::stoll(body.substr(colon + 1));
+    accounts[std::string(body.substr(0, colon))] +=
+        std::stoll(std::string(body.substr(colon + 1)));
     ++updates_applied;
     if (seq < highest_seen) ++out_of_order;
     highest_seen = std::max(highest_seen, seq);
@@ -76,7 +76,7 @@ int main() {
     hosts.push_back(std::make_unique<core::BroadcastHost>(
         simulator, network.endpoint(h), source, all_hosts, core::Config{},
         rngs.stream("jitter", h.value),
-        [replica](util::Seq seq, const std::string& body) {
+        [replica](util::Seq seq, std::string_view body) {
           replica->apply(seq, body);
         }));
     network.register_host(h, [&hosts, h](const net::Delivery& d) {

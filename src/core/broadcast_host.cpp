@@ -84,7 +84,7 @@ Seq BroadcastHost::broadcast(std::string body) {
   RBCAST_ASSERT(fresh);
   ++counters_.deliveries;
   if (observer_ != nullptr) observer_->on_delivered(self(), seq);
-  if (app_deliver_) app_deliver_(seq, *state_.body_of(seq));
+  if (app_deliver_) app_deliver_(seq, state_.body_of(seq)->view());
   // "Broadcast is initiated when the source sends a message to its cluster
   // neighbors" — in parent-graph terms, to its children.
   for (HostId child : state_.children()) {
@@ -168,7 +168,7 @@ void BroadcastHost::handle_data(HostId from, const DataMsg& m) {
   accept_message(m.seq, m.body, new_max, from);
 }
 
-void BroadcastHost::accept_message(Seq seq, const std::string& body,
+void BroadcastHost::accept_message(Seq seq, const Payload& body,
                                    bool was_new_max, HostId from) {
   const bool fresh = state_.record_message(seq, body);
   RBCAST_ASSERT(fresh);
@@ -177,7 +177,7 @@ void BroadcastHost::accept_message(Seq seq, const std::string& body,
     observer_->on_delivered(self(), seq);
     if (!was_new_max) observer_->on_gapfill_accepted(self(), from, seq);
   }
-  if (app_deliver_) app_deliver_(seq, body);
+  if (app_deliver_) app_deliver_(seq, body.view());
 
   if (was_new_max) {
     // "upon receipt of a broadcast message, a host sends it on to all its
@@ -368,7 +368,18 @@ void BroadcastHost::info_round_intra() {
   for (HostId n : state_.neighbors()) recipients.insert(n);
   recipients.erase(self());
   const InfoMsg msg{state_.info(), state_.parent()};
-  for (HostId j : recipients) send_message(j, msg);
+  for (HostId j : recipients) {
+    // A data message that piggybacked our INFO to j within the last round
+    // already did this round's job (Section 6) — skip the standalone report.
+    if (config_.piggyback_info) {
+      auto it = last_piggyback_.find(j);
+      if (it != last_piggyback_.end() &&
+          scheduler_.now() - it->second < config_.info_period_intra) {
+        continue;
+      }
+    }
+    send_message(j, msg);
+  }
 }
 
 void BroadcastHost::info_round_inter() {
@@ -481,11 +492,16 @@ void BroadcastHost::send_message(HostId to, ProtocolMessage m) {
   net::TraceId trace_id = 0;
   if (const auto* data = std::get_if<DataMsg>(&m)) {
     trace_id = net::make_trace_id(source_, data->seq);
+    // A piggybacked INFO set freshens the peer like a standalone report;
+    // remember when so info_round_intra() can skip the redundant packet.
+    if (data->piggyback.has_value()) {
+      last_piggyback_[to] = scheduler_.now();
+    }
   }
   endpoint_.send(to, std::any(std::move(m)), bytes, kind, trace_id);
 }
 
-DataMsg BroadcastHost::make_data(Seq seq, const std::string& body,
+DataMsg BroadcastHost::make_data(Seq seq, const Payload& body,
                                  bool gap_fill) const {
   DataMsg m{seq, body, gap_fill, std::nullopt};
   if (config_.piggyback_info) {
@@ -495,7 +511,7 @@ DataMsg BroadcastHost::make_data(Seq seq, const std::string& body,
 }
 
 void BroadcastHost::send_gapfill(HostId to, Seq seq) {
-  const std::string* body = state_.body_of(seq);
+  const Payload* body = state_.body_of(seq);
   RBCAST_ASSERT(body != nullptr);
   send_message(to, make_data(seq, *body, /*gap_fill=*/true));
   note_offered(to, seq);

@@ -18,6 +18,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/attachment.h"
@@ -35,7 +36,9 @@ namespace rbcast::core {
 class BroadcastHost {
  public:
   // Called on first receipt of each data message (unordered delivery).
-  using AppDeliverFn = std::function<void(Seq, const std::string& body)>;
+  // The view aliases the refcounted Payload held in HostState; copy it if
+  // it must outlive the callback.
+  using AppDeliverFn = std::function<void(Seq, std::string_view body)>;
 
   // `endpoint` must outlive this object. `rng` drives only phase jitter of
   // the periodic tasks (so hosts do not act in lock-step).
@@ -133,7 +136,7 @@ class BroadcastHost {
   // --- helpers -----------------------------------------------------------
   void send_message(HostId to, ProtocolMessage m);
   // Builds a data message (attaching the piggybacked INFO when enabled).
-  [[nodiscard]] DataMsg make_data(Seq seq, const std::string& body,
+  [[nodiscard]] DataMsg make_data(Seq seq, const Payload& body,
                                   bool gap_fill) const;
   void send_gapfill(HostId to, Seq seq);
   // Records that `seq` was just offered to `to` (any data send counts);
@@ -147,7 +150,7 @@ class BroadcastHost {
   void begin_attach(HostId candidate, const std::string& rule);
   void on_attach_timeout(HostId candidate);
   void detach_from_parent(bool notify, bool timeout);
-  void accept_message(Seq seq, const std::string& body, bool was_new_max,
+  void accept_message(Seq seq, const Payload& body, bool was_new_max,
                       HostId from);
   [[nodiscard]] std::set<HostId> current_exclusions();
 
@@ -179,6 +182,11 @@ class BroadcastHost {
   // Liveness bookkeeping.
   util::TimePoint last_parent_heard_{0};
   std::map<HostId, util::TimePoint> last_heard_;
+
+  // Piggyback suppression (Config::piggyback_info): when a data message
+  // carrying our INFO set just went to a neighbor, the next intra-cluster
+  // INFO round skips that neighbor — the report already rode along.
+  std::map<HostId, util::TimePoint> last_piggyback_;
 
   // Optimistic offer tracking (duplicate gap-fill suppression): per peer,
   // the expiry time of each outstanding offer. Ordered for determinism.

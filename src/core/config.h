@@ -126,6 +126,18 @@ struct Config {
   enum class ClusterKnowledge { kDynamic, kStatic, kNone };
   ClusterKnowledge cluster_knowledge{ClusterKnowledge::kDynamic};
 
+  // --- data plane (transport batching) ------------------------------------
+
+  // Per-link coalescing (transport::Coalescer): outbound frames to the
+  // same destination buffer for up to `batch_flush_delay` or until the
+  // encoded datagram would exceed `batch_max_bytes`, then flush as one
+  // multi-frame datagram (wire version 2). 0 disables batching — the
+  // default, and the configuration the determinism digests are pinned
+  // under. The composition roots (harness::Experiment, rbcast_node) map
+  // these into the transport's CoalescerConfig.
+  util::Duration batch_flush_delay{0};
+  std::size_t batch_max_bytes{1200};
+
   // --- workload ----------------------------------------------------------
 
   // Payload size of one data message body.

@@ -40,14 +40,14 @@ void HostState::check_invariants() const {
 #endif
 }
 
-bool HostState::record_message(Seq seq, std::string body) {
+bool HostState::record_message(Seq seq, Payload body) {
   if (!info_.insert(seq)) return false;
   bodies_.emplace(seq, std::move(body));
   check_invariants();
   return true;
 }
 
-const std::string* HostState::body_of(Seq seq) const {
+const Payload* HostState::body_of(Seq seq) const {
   auto it = bodies_.find(seq);
   return it != bodies_.end() ? &it->second : nullptr;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/payload.h"
 #include "util/ids.h"
 #include "util/seq_set.h"
 
@@ -56,11 +57,11 @@ class HostState {
   // Records receipt of message `seq` with payload `body`. Returns true if
   // it was new (first receipt — exactly-once delivery to the application
   // keys off this).
-  bool record_message(Seq seq, std::string body);
+  bool record_message(Seq seq, Payload body);
 
   [[nodiscard]] bool has_message(Seq seq) const { return info_.contains(seq); }
   // Payload of a stored message; nullptr if unknown or pruned away.
-  [[nodiscard]] const std::string* body_of(Seq seq) const;
+  [[nodiscard]] const Payload* body_of(Seq seq) const;
 
   // Drops state for the safe prefix 1..watermark (Section 6 pruning).
   void prune(Seq watermark);
@@ -132,7 +133,7 @@ class HostState {
   int source_order_{0};  // 1 + max host id: strictly above every peer
 
   SeqSet info_;
-  std::map<Seq, std::string> bodies_;
+  std::map<Seq, Payload> bodies_;
   // Ordered maps: protocol decisions iterate MAP and the parent view, and
   // hash-order iteration would make runs seed-irreproducible.
   std::map<HostId, SeqSet> map_;

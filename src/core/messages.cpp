@@ -182,7 +182,7 @@ struct EncodeVisitor {
     if (m.piggyback.has_value()) flags |= kDataFlagPiggyback;
     put_u8(out, flags);
     put_u32(out, static_cast<std::uint32_t>(m.body.size()));
-    out.append(m.body);
+    out.append(m.body.view());
     if (m.piggyback.has_value()) {
       put_seq_set(out, m.piggyback->first);
       put_i32(out, m.piggyback->second.value);
@@ -225,13 +225,15 @@ std::optional<ProtocolMessage> decode_message(const char* data,
       DataMsg d;
       std::uint8_t flags = 0;
       std::uint32_t body_len = 0;
+      std::string body;
       if (!r.take_u64(d.seq) || d.seq < 1 || d.seq > SeqSet::kMaxSeq ||
           !r.take_u8(flags) ||
           (flags & ~(kDataFlagGapFill | kDataFlagPiggyback)) != 0 ||
           !r.take_u32(body_len) || body_len > kMaxBodyBytes ||
-          !r.take_string(d.body, body_len)) {
+          !r.take_string(body, body_len)) {
         return std::nullopt;
       }
+      d.body = body;
       d.gap_fill = (flags & kDataFlagGapFill) != 0;
       if ((flags & kDataFlagPiggyback) != 0) {
         SeqSet info;

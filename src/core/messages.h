@@ -17,6 +17,7 @@
 #include <string>
 #include <variant>
 
+#include "core/payload.h"
 #include "util/ids.h"
 #include "util/seq_set.h"
 
@@ -28,7 +29,9 @@ using util::SeqSet;
 // One broadcast data message (possibly redelivered as a gap filler).
 struct DataMsg {
   Seq seq{0};
-  std::string body;
+  // Refcounted immutable body: the leader's fan-out and every gap-fill
+  // resend share one buffer instead of copying per child (see payload.h).
+  Payload body;
   // True when sent to fill a gap rather than as first-time propagation
   // down the tree. Advisory (receivers decide by comparing seq to their
   // own maximum); used for accounting.

@@ -34,7 +34,7 @@ MultiSourceNode::MultiSourceNode(util::Scheduler& scheduler,
                      "every source must be a participating host");
     RBCAST_CHECK_ARG(!instances_.contains(source), "duplicate source");
     auto mux = std::make_unique<MuxEndpoint>(endpoint_, source);
-    auto deliver = [this, source](Seq seq, const std::string& body) {
+    auto deliver = [this, source](Seq seq, std::string_view body) {
       if (app_deliver_) app_deliver_(source, seq, body);
     };
     auto instance = std::make_unique<BroadcastHost>(

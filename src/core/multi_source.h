@@ -38,7 +38,7 @@ class MultiSourceNode {
  public:
   // Called on first delivery of each (source, seq) pair at this host.
   using AppDeliverFn =
-      std::function<void(HostId source, Seq seq, const std::string& body)>;
+      std::function<void(HostId source, Seq seq, std::string_view body)>;
 
   // `sources` lists every broadcast stream in the system (each must be a
   // member of `all_hosts`); a protocol instance is created for each.

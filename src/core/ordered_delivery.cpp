@@ -13,7 +13,7 @@ OrderedDeliveryAdapter::OrderedDeliveryAdapter(DownstreamFn downstream)
 }
 
 void OrderedDeliveryAdapter::on_message(util::Seq seq,
-                                        const std::string& body) {
+                                        std::string_view body) {
   RBCAST_ASSERT_MSG(seq >= next_, "duplicate delivery from upstream");
   if (seq == next_) {
     downstream_(seq, body);
@@ -22,7 +22,7 @@ void OrderedDeliveryAdapter::on_message(util::Seq seq,
     flush();
     return;
   }
-  buffer_.emplace(seq, body);
+  buffer_.emplace(seq, std::string(body));
   max_buffered_ = std::max(max_buffered_, buffer_.size());
 }
 

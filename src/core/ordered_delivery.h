@@ -27,12 +27,12 @@ namespace rbcast::core {
 class OrderedDeliveryAdapter {
  public:
   using DownstreamFn =
-      std::function<void(util::Seq seq, const std::string& body)>;
+      std::function<void(util::Seq seq, std::string_view body)>;
 
   explicit OrderedDeliveryAdapter(DownstreamFn downstream);
 
   // Feed point: plug this into BroadcastHost's AppDeliverFn.
-  void on_message(util::Seq seq, const std::string& body);
+  void on_message(util::Seq seq, std::string_view body);
 
   // Next sequence number the application is waiting for.
   [[nodiscard]] util::Seq next_expected() const { return next_; }

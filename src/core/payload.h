@@ -1,0 +1,70 @@
+// Payload — refcounted immutable message body for zero-copy fan-out.
+//
+// A broadcast body is written once (at the source, or when a relay decodes
+// it off the wire) and then read many times: the cluster leader re-sends
+// the same bytes to every child, the host state retains it for gap fills,
+// and the app-delivery callback observes it. Before this type each of
+// those was a std::string copy — O(children) allocations per message on
+// the relay hot path. Payload wraps the bytes in a
+// shared_ptr<const vector<byte>> so every retransmission, gap-fill offer,
+// and state-table entry shares one immutable buffer; "copying" a Payload
+// bumps a refcount.
+//
+// Implicit construction from the string family keeps call sites natural
+// (message literals in tests, decoded wire strings in the codec). Reads go
+// through view(): a string_view over the bytes, valid as long as any
+// Payload referencing the buffer lives.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbcast::core {
+
+class Payload {
+ public:
+  Payload() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): body literals and decoded
+  // strings convert implicitly by design — see header comment.
+  Payload(std::string_view bytes) { assign(bytes); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Payload(const std::string& bytes) { assign(bytes); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Payload(const char* bytes) { assign(bytes); }
+
+  [[nodiscard]] std::size_t size() const {
+    return data_ ? data_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::string_view view() const {
+    if (!data_ || data_->empty()) return {};
+    return {reinterpret_cast<const char*>(data_->data()), data_->size()};
+  }
+
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+
+  // Shallow identity: true when two Payloads share the same buffer.
+  [[nodiscard]] bool shares_buffer_with(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.view() == b.view();
+  }
+
+ private:
+  void assign(std::string_view bytes) {
+    if (bytes.empty()) return;
+    const auto* p = reinterpret_cast<const std::byte*>(bytes.data());
+    data_ = std::make_shared<const std::vector<std::byte>>(p,
+                                                           p + bytes.size());
+  }
+
+  std::shared_ptr<const std::vector<std::byte>> data_;
+};
+
+}  // namespace rbcast::core

@@ -100,7 +100,8 @@ std::string to_json(const ChaosSpec& spec) {
   const bool has_config =
       spec.attach_period_s.has_value() || spec.info_period_inter_s.has_value() ||
       spec.gapfill_period_neighbor_s.has_value() ||
-      spec.piggyback_info.has_value();
+      spec.piggyback_info.has_value() || spec.batch_flush_ms.has_value() ||
+      spec.batch_max_bytes.has_value();
   if (has_config) {
     os << ",\n  \"config\": {";
     const char* sep = "";
@@ -121,6 +122,14 @@ std::string to_json(const ChaosSpec& spec) {
     if (spec.piggyback_info.has_value()) {
       os << sep << "\"piggyback_info\": "
          << (*spec.piggyback_info ? "true" : "false");
+      sep = ", ";
+    }
+    if (spec.batch_flush_ms.has_value()) {
+      os << sep << "\"batch_flush_ms\": " << fmt(*spec.batch_flush_ms);
+      sep = ", ";
+    }
+    if (spec.batch_max_bytes.has_value()) {
+      os << sep << "\"batch_max_bytes\": " << *spec.batch_max_bytes;
     }
     os << "}";
   }
@@ -191,6 +200,12 @@ ChaosSpec parse_chaos_spec(const std::string& json) {
     }
     if (c->find("piggyback_info") != nullptr) {
       spec.piggyback_info = bool_or(*c, "piggyback_info", false);
+    }
+    if (c->find("batch_flush_ms") != nullptr) {
+      spec.batch_flush_ms = num_or(*c, "batch_flush_ms", 0);
+    }
+    if (c->find("batch_max_bytes") != nullptr) {
+      spec.batch_max_bytes = int_or(*c, "batch_max_bytes", 0);
     }
   }
   spec.concrete = bool_or(root, "concrete", false);
@@ -355,6 +370,14 @@ ChaosRunResult run_chaos(const ChaosSpec& spec, std::uint64_t seed,
   }
   if (c.piggyback_info.has_value()) {
     options.protocol.piggyback_info = *c.piggyback_info;
+  }
+  if (c.batch_flush_ms.has_value()) {
+    options.protocol.batch_flush_delay =
+        sim::from_seconds(*c.batch_flush_ms / 1000.0);
+  }
+  if (c.batch_max_bytes.has_value()) {
+    options.protocol.batch_max_bytes =
+        static_cast<std::size_t>(*c.batch_max_bytes);
   }
 
   Experiment e(wan.topology, options);

@@ -73,6 +73,9 @@ struct ChaosSpec {
   std::optional<double> info_period_inter_s;
   std::optional<double> gapfill_period_neighbor_s;
   std::optional<bool> piggyback_info;
+  // Data-plane coalescing (0 ms = batching off, the protocol default).
+  std::optional<double> batch_flush_ms;
+  std::optional<int> batch_max_bytes;
 
   // --- concrete schedule --------------------------------------------------
   // `concrete` marks an expanded spec; it stays true even when shrinking

@@ -22,8 +22,13 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
 
   network_ = std::make_unique<net::Network>(simulator_, topology_,
                                             options_.net, rngs_);
-  transport_ =
-      std::make_unique<transport::SimTransport>(simulator_, *network_);
+  // Config::batch_flush_delay > 0 turns on transport-level coalescing;
+  // the default (0) keeps SimTransport on its zero-overhead forwarding
+  // path, which the determinism digests are pinned under.
+  transport_ = std::make_unique<transport::SimTransport>(
+      simulator_, *network_,
+      transport::CoalescerConfig{options_.protocol.batch_flush_delay,
+                                 options_.protocol.batch_max_bytes});
   metrics_ = std::make_unique<trace::Metrics>(simulator_, *network_);
   metrics_->attach();
   events_ = std::make_unique<trace::EventLog>(simulator_);
@@ -39,7 +44,7 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
     if (options_.ordered_delivery) ordered_.resize(all_hosts.size());
     for (HostId h : all_hosts) {
       core::BroadcastHost::AppDeliverFn deliver =
-          [this, h](util::Seq seq, const std::string&) {
+          [this, h](util::Seq seq, std::string_view) {
             metrics_->record_delivery(h, seq);
           };
       if (options_.ordered_delivery && h != options_.source) {
@@ -48,7 +53,7 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
         ordered_[static_cast<std::size_t>(h.value)] =
             std::make_unique<core::OrderedDeliveryAdapter>(
                 std::move(deliver));
-        deliver = [this, h](util::Seq seq, const std::string& body) {
+        deliver = [this, h](util::Seq seq, std::string_view body) {
           ordered_[static_cast<std::size_t>(h.value)]->on_message(seq, body);
         };
       }
@@ -57,7 +62,7 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
         // upstream of any ordering adapter. monitor_ is created after the
         // hosts; deliveries only happen once the simulation runs.
         deliver = [this, h, inner = std::move(deliver)](
-                      util::Seq seq, const std::string& body) {
+                      util::Seq seq, std::string_view body) {
           if (monitor_ != nullptr) monitor_->on_app_delivery(h, seq, body);
           inner(seq, body);
         };

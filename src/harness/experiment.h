@@ -125,6 +125,9 @@ class Experiment {
 
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
   [[nodiscard]] net::Network& network() { return *network_; }
+  // The transport the paper hosts run over — benches read its coalescer
+  // stats to report datagram amortization when batching is on.
+  [[nodiscard]] transport::SimTransport& transport() { return *transport_; }
   [[nodiscard]] net::FaultPlan& faults() { return *faults_; }
   [[nodiscard]] trace::Metrics& metrics() { return *metrics_; }
   // Protocol event timeline (paper protocol only; empty for the baseline).

@@ -42,10 +42,10 @@ void InvariantMonitor::set_faults_quiet_at(sim::TimePoint t) {
 }
 
 void InvariantMonitor::on_source_broadcast(util::Seq seq,
-                                           const std::string& body) {
+                                           std::string_view body) {
   RBCAST_CHECK_ARG(seq == source_bodies_.size() + 1,
                    "source broadcasts must be reported in sequence order");
-  source_bodies_.push_back(body);
+  source_bodies_.emplace_back(body);
   if (quiet_at_.has_value() && !liveness_anchor_.has_value() &&
       simulator_.now() >= *quiet_at_) {
     liveness_anchor_ = simulator_.now();
@@ -53,11 +53,11 @@ void InvariantMonitor::on_source_broadcast(util::Seq seq,
 }
 
 void InvariantMonitor::on_app_delivery(HostId host, util::Seq seq,
-                                       const std::string& body) {
+                                       std::string_view body) {
   const auto i = static_cast<std::size_t>(host.value);
   RBCAST_CHECK_ARG(host.valid() && i < hosts_.size(), "unknown host");
   ++delivery_counts_[i][seq];
-  delivered_bodies_[i].emplace(seq, body);  // keep the first body seen
+  delivered_bodies_[i].emplace(seq, std::string(body));  // keep the first body seen
 }
 
 void InvariantMonitor::on_attached(HostId host, HostId /*parent*/) {

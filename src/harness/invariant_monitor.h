@@ -91,11 +91,11 @@ class InvariantMonitor final : public core::ProtocolObserver,
 
   // Source-side hook: message `seq` was generated with `body`. Bodies are
   // the I2/I3 ground truth; every broadcast must be reported here.
-  void on_source_broadcast(util::Seq seq, const std::string& body);
+  void on_source_broadcast(util::Seq seq, std::string_view body);
 
   // Application-side hook: `host` handed `body` to the application as
   // message `seq` (first receipt).
-  void on_app_delivery(HostId host, util::Seq seq, const std::string& body);
+  void on_app_delivery(HostId host, util::Seq seq, std::string_view body);
 
   // Runs one safety+liveness sweep immediately.
   void sweep_now();

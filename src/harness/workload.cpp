@@ -12,6 +12,8 @@ const char* to_string(ArrivalProcess process) {
       return "poisson";
     case ArrivalProcess::kBursty:
       return "bursty";
+    case ArrivalProcess::kSustained:
+      return "sustained";
   }
   return "?";
 }
@@ -28,7 +30,16 @@ sim::TimePoint schedule_workload(Experiment& experiment,
   int scheduled = 0;
   int in_burst = 0;
 
-  while (scheduled < options.messages) {
+  // Sustained overload: the message count is the rate held for the whole
+  // duration, so two runs at different intervals stress the network for
+  // the same span of virtual time at different offered loads.
+  int messages = options.messages;
+  if (options.process == ArrivalProcess::kSustained) {
+    RBCAST_CHECK_ARG(options.duration > 0, "duration must be positive");
+    messages = static_cast<int>(options.duration / options.interval);
+  }
+
+  while (scheduled < messages) {
     experiment.schedule_broadcast_at(at);
     last = at;
     ++scheduled;
@@ -43,6 +54,9 @@ sim::TimePoint schedule_workload(Experiment& experiment,
         at += std::max<sim::Duration>(1, sim::from_seconds(gap_s));
         break;
       }
+      case ArrivalProcess::kSustained:
+        at += options.interval;
+        break;
       case ArrivalProcess::kBursty:
         ++in_burst;
         if (in_burst >= options.burst_size) {

@@ -7,7 +7,13 @@
 //   * uniform  — one message every T (the default used by most benches);
 //   * poisson  — exponential inter-arrival times with a given rate;
 //   * bursty   — on/off: bursts of back-to-back messages separated by
-//                silence (models batched database updates).
+//                silence (models batched database updates);
+//   * sustained — fixed-rate arrivals held for a span of virtual time
+//                (heavy-traffic/overload experiments: pick an interval
+//                whose offered load exceeds the bottleneck capacity and
+//                hold it for minutes — `messages` is derived from
+//                duration/interval, so runs at different intervals offer
+//                load for the same wall of virtual time).
 #pragma once
 
 #include <string>
@@ -17,7 +23,7 @@
 
 namespace rbcast::harness {
 
-enum class ArrivalProcess { kUniform, kPoisson, kBursty };
+enum class ArrivalProcess { kUniform, kPoisson, kBursty, kSustained };
 
 struct WorkloadOptions {
   ArrivalProcess process{ArrivalProcess::kUniform};
@@ -27,6 +33,9 @@ struct WorkloadOptions {
   sim::Duration interval{sim::milliseconds(500)};
   // Bursty only: messages per burst.
   int burst_size{5};
+  // Sustained only: how long to hold the arrival rate. Overrides
+  // `messages` (the count becomes duration / interval).
+  sim::Duration duration{sim::seconds(60)};
   sim::TimePoint first_at{sim::seconds(1)};
 };
 

@@ -41,9 +41,9 @@ ModelMessage ModelNode::make(HostId to, ProtocolMessage m) const {
   return ModelMessage{self(), to, std::move(m)};
 }
 
-void ModelNode::deliver_to_app(Seq seq, const std::string& body) {
+void ModelNode::deliver_to_app(Seq seq, std::string_view body) {
   ++deliveries_[seq];
-  delivered_bodies_[seq] = body;
+  delivered_bodies_[seq] = std::string(body);
 }
 
 std::vector<ModelMessage> ModelNode::broadcast(Seq seq,
@@ -97,7 +97,7 @@ std::vector<ModelMessage> ModelNode::handle_data(HostId from,
   if (state_.has_message(m.seq)) {
     // Duplicate. The double-delivery mutant "forgets" the discard rule.
     if (config.mutant_double_delivery) {
-      deliver_to_app(m.seq, m.body);
+      deliver_to_app(m.seq, m.body.view());
     }
     return {};
   }
@@ -111,7 +111,7 @@ std::vector<ModelMessage> ModelNode::handle_data(HostId from,
 
   const bool fresh = state_.record_message(m.seq, m.body);
   RBCAST_ASSERT(fresh);
-  deliver_to_app(m.seq, m.body);
+  deliver_to_app(m.seq, m.body.view());
 
   std::vector<ModelMessage> out;
   if (new_max) {

@@ -23,6 +23,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/host_state.h"
@@ -120,7 +121,7 @@ class ModelNode {
       HostId from, const core::AttachRequest& m);
   std::vector<ModelMessage> handle_attach_accept(HostId from,
                                                  const core::AttachAccept& m);
-  void deliver_to_app(Seq seq, const std::string& body);
+  void deliver_to_app(Seq seq, std::string_view body);
   [[nodiscard]] ModelMessage make(HostId to, ProtocolMessage m) const;
 
   core::HostState state_;

@@ -129,8 +129,10 @@ void Network::send(HostId from, HostId to, std::any payload,
     drop(p.d, DropReason::kQueueOverflow);
     return;
   }
-  // Direction 0 of an access link is host -> server.
-  const auto tx = access.transmit(bytes, 0, simulator_.now());
+  // Direction 0 of an access link is host -> server. Every hop charges
+  // the payload plus the fixed per-datagram framing overhead.
+  const auto tx = access.transmit(bytes + config_.per_packet_overhead_bytes,
+                                  0, simulator_.now());
   if (observer_ != nullptr) {
     observer_->on_queue_backlog(hs.server, hs.access_link, tx.queue_wait);
   }
@@ -174,7 +176,8 @@ void Network::arrive_at_server(Packet p) {
     drop(p.d, DropReason::kQueueOverflow);
     return;
   }
-  const auto tx = ls.transmit(p.d.bytes, dir, simulator_.now());
+  const auto tx = ls.transmit(p.d.bytes + config_.per_packet_overhead_bytes,
+                              dir, simulator_.now());
   if (observer_ != nullptr) {
     observer_->on_queue_backlog(p.at, choice.link, tx.queue_wait);
     observer_->on_link_transmit(choice.link, p.d);

@@ -1,0 +1,88 @@
+#include "transport/coalescer.h"
+
+#include <utility>
+
+#include "transport/wire.h"
+#include "util/assert.h"
+
+namespace rbcast::transport {
+
+Coalescer::Coalescer(util::Scheduler& scheduler, CoalescerConfig config,
+                     FlushFn flush)
+    : scheduler_(scheduler), config_(config), flush_(std::move(flush)) {
+  RBCAST_CHECK_ARG(config_.enabled(), "Coalescer built with batching off");
+  RBCAST_CHECK_ARG(config_.max_bytes > kBatchHeaderBytes,
+                   "batch_max_bytes leaves no room for frames");
+  RBCAST_CHECK_ARG(flush_ != nullptr, "Coalescer: null flush fn");
+}
+
+Coalescer::~Coalescer() {
+  for (auto& [host, q] : queues_) {
+    if (q.timer_armed) scheduler_.cancel(q.timer);
+  }
+}
+
+void Coalescer::enqueue(HostId to, Item item) {
+  RBCAST_CHECK_ARG(to.valid(), "Coalescer::enqueue: bad destination");
+  Queue& q = queues_[to.value];
+  const std::size_t cost = kBatchPerFrameBytes + item.bytes;
+  // An empty queue costs the container header once its first frame lands.
+  // A frame that cannot fit even alone still goes out (as an oversized
+  // singleton datagram) rather than sticking in the queue forever.
+  if (!q.items.empty() &&
+      q.bytes + cost > config_.max_bytes) {
+    ++stats_.size_flushes;
+    do_flush(q, to);
+  }
+  if (q.items.empty()) {
+    q.bytes = kBatchHeaderBytes;
+    q.timer = scheduler_.after(config_.flush_delay, [this, to] {
+      auto it = queues_.find(to.value);
+      if (it == queues_.end() || it->second.items.empty()) return;
+      it->second.timer_armed = false;
+      ++stats_.deadline_flushes;
+      do_flush(it->second, to);
+    });
+    q.timer_armed = true;
+  }
+  q.bytes += cost;
+  q.items.push_back(std::move(item));
+  ++stats_.frames_enqueued;
+  if (q.items.size() >= kMaxBatchFrames) {
+    ++stats_.size_flushes;
+    do_flush(q, to);
+  }
+}
+
+void Coalescer::flush(HostId to) {
+  auto it = queues_.find(to.value);
+  if (it == queues_.end() || it->second.items.empty()) return;
+  do_flush(it->second, to);
+}
+
+void Coalescer::flush_all() {
+  for (auto& [host, q] : queues_) {
+    if (!q.items.empty()) do_flush(q, HostId{host});
+  }
+}
+
+std::size_t Coalescer::pending_frames() const {
+  std::size_t n = 0;
+  for (const auto& [host, q] : queues_) n += q.items.size();
+  return n;
+}
+
+void Coalescer::do_flush(Queue& q, HostId to) {
+  if (q.timer_armed) {
+    scheduler_.cancel(q.timer);
+    q.timer_armed = false;
+  }
+  std::vector<Item> items;
+  items.swap(q.items);
+  q.bytes = 0;
+  ++stats_.batches_flushed;
+  // Flush after clearing the queue: the callback may re-enter enqueue().
+  flush_(to, std::move(items));
+}
+
+}  // namespace rbcast::transport

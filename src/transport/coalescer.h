@@ -1,0 +1,104 @@
+// Coalescer — per-destination outbound frame batching for the data plane.
+//
+// Both transport backends funnel sends through one of these when batching
+// is enabled (Config::batch_flush_delay > 0). Frames queue per destination
+// host; a queue flushes as one multi-frame datagram when either
+//
+//   - adding the next frame would push the encoded datagram past
+//     `max_bytes` (size flush: the full queue goes out first, then the new
+//     frame starts a fresh one), or
+//   - `flush_delay` elapses after the queue's first frame arrived
+//     (deadline flush: bounds the latency cost of waiting for company).
+//
+// The coalescer is backend-agnostic: it never encodes anything itself. An
+// Item carries whatever the backend needs to materialise the datagram at
+// flush time — the simulator keeps the std::any payload, the UDP backend
+// keeps pre-encoded frame bytes — plus the byte count used against the
+// size budget. Timers come from the same util::Scheduler the owning
+// transport runs on, so simulated batching is as deterministic as
+// everything else in the DES.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/scheduler.h"
+
+namespace rbcast::transport {
+
+struct CoalescerConfig {
+  // 0 disables batching entirely: the owning transport must not construct
+  // a Coalescer (enabled() is the gate the backends check).
+  util::Duration flush_delay{0};
+  // Encoded-datagram budget, container overhead included.
+  std::size_t max_bytes{1200};
+
+  [[nodiscard]] bool enabled() const { return flush_delay > 0; }
+};
+
+class Coalescer {
+ public:
+  // One queued frame. `bytes` is the encoded version-1 frame size — what
+  // the frame costs inside a batch container before the per-frame length
+  // prefix. The backend fills whichever carrier it flushes from.
+  struct Item {
+    std::any payload;      // sim backend: the in-memory protocol message
+    std::string encoded;   // udp backend: encoded version-1 frame bytes
+    std::size_t bytes{0};
+    std::string kind;
+    net::TraceId trace_id{0};
+  };
+
+  struct Stats {
+    std::uint64_t frames_enqueued{0};
+    std::uint64_t batches_flushed{0};
+    std::uint64_t size_flushes{0};
+    std::uint64_t deadline_flushes{0};
+  };
+
+  using FlushFn = std::function<void(HostId to, std::vector<Item> items)>;
+
+  Coalescer(util::Scheduler& scheduler, CoalescerConfig config, FlushFn flush);
+  ~Coalescer();
+
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  // Queues `item` for `to`, size-flushing the existing queue first when the
+  // datagram budget would overflow. The first frame in a queue arms the
+  // deadline timer.
+  void enqueue(HostId to, Item item);
+
+  // Flushes one destination / every destination immediately (shutdown and
+  // test hook; counted as deadline flushes in neither case).
+  void flush(HostId to);
+  void flush_all();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_frames() const;
+
+ private:
+  struct Queue {
+    std::vector<Item> items;
+    std::size_t bytes{0};  // encoded datagram size if flushed now
+    util::EventId timer{};
+    bool timer_armed{false};
+  };
+
+  void do_flush(Queue& q, HostId to);
+
+  util::Scheduler& scheduler_;
+  CoalescerConfig config_;
+  FlushFn flush_;
+  // Ordered by host id so flush_all() walks destinations deterministically.
+  std::map<HostId::value_type, Queue> queues_;
+  Stats stats_;
+};
+
+}  // namespace rbcast::transport

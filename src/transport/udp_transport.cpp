@@ -26,7 +26,15 @@ struct UdpTransport::PeerState {
 class UdpTransport::Binding final : public net::HostEndpoint {
  public:
   Binding(UdpTransport& owner, HostId host, net::DeliveryFn deliver)
-      : owner_(owner), host_(host), deliver_(std::move(deliver)) {}
+      : owner_(owner), host_(host), deliver_(std::move(deliver)) {
+    if (owner.config_coalesce_.enabled()) {
+      coalescer = std::make_unique<Coalescer>(
+          owner.scheduler_, owner.config_coalesce_,
+          [this](HostId to, std::vector<Coalescer::Item> items) {
+            owner_.flush_from(*this, to, std::move(items));
+          });
+    }
+  }
 
   ~Binding() override {
     if (fd >= 0) ::close(fd);
@@ -46,6 +54,9 @@ class UdpTransport::Binding final : public net::HostEndpoint {
   void deliver(const net::Delivery& d) { deliver_(d); }
 
   int fd{-1};
+  // Present iff Config::coalesce is enabled; frames queue here and go out
+  // via UdpTransport::flush_from.
+  std::unique_ptr<Coalescer> coalescer;
 
  private:
   UdpTransport& owner_;
@@ -72,7 +83,8 @@ UdpTransport::UdpTransport(util::RealTimeScheduler& scheduler,
                            const PayloadCodec& codec, Config config)
     : scheduler_(scheduler),
       codec_(codec),
-      impairment_config_(config.impairment) {
+      impairment_config_(config.impairment),
+      config_coalesce_(config.coalesce) {
   if (impairment_config_.enabled()) {
     impairment_ = std::make_unique<Impairment>(impairment_config_);
   }
@@ -89,6 +101,7 @@ UdpTransport::UdpTransport(util::RealTimeScheduler& scheduler,
 
 UdpTransport::~UdpTransport() {
   for (auto& [host, binding] : bindings_) {
+    if (binding->coalescer != nullptr) binding->coalescer->flush_all();
     if (binding->fd >= 0) scheduler_.unwatch_fd(binding->fd);
   }
 }
@@ -151,6 +164,7 @@ net::HostEndpoint& UdpTransport::attach(HostId host, net::DeliveryFn deliver) {
 void UdpTransport::detach(HostId host) {
   const auto it = bindings_.find(host.value);
   if (it == bindings_.end()) return;
+  if (it->second->coalescer != nullptr) it->second->coalescer->flush_all();
   if (it->second->fd >= 0) scheduler_.unwatch_fd(it->second->fd);
   bindings_.erase(it);
 }
@@ -199,28 +213,65 @@ void UdpTransport::send_from(Binding& from, HostId to, std::any payload,
     RBCAST_ASSERT_MSG(false, "udp transport: unencodable payload");
     return;
   }
-  const std::string datagram = encode_frame(frame);
+  std::string encoded = encode_frame(frame);
 
+  if (from.coalescer != nullptr) {
+    Coalescer::Item item;
+    item.bytes = encoded.size();
+    item.encoded = std::move(encoded);
+    item.kind = std::move(d.kind);
+    item.trace_id = trace_id;
+    from.coalescer->enqueue(to, std::move(item));
+    return;
+  }
+
+  send_datagram(from, *dest, encoded, /*frames=*/1, &d);
+}
+
+void UdpTransport::flush_from(Binding& from, HostId to,
+                              std::vector<Coalescer::Item> items) {
+  RBCAST_ASSERT(!items.empty());
+  const PeerState* dest = find_peer(to);
+  if (dest == nullptr || dest->peer.port == 0) {
+    stats_.send_errors += items.size();
+    return;
+  }
+  if (items.size() == 1) {
+    send_datagram(from, *dest, items.front().encoded, /*frames=*/1);
+    return;
+  }
+  std::vector<std::string> encoded;
+  encoded.reserve(items.size());
+  for (Coalescer::Item& item : items) encoded.push_back(std::move(item.encoded));
+  send_datagram(from, *dest, encode_batch_container(encoded), items.size());
+}
+
+void UdpTransport::send_datagram(Binding& from, const PeerState& dest,
+                                 const std::string& datagram,
+                                 std::size_t frames, const net::Delivery* d) {
+  // One impairment draw per datagram — the wire loses datagrams, not
+  // frames — but stats count contained frames, so a duplicated batch does
+  // not under-report and a dropped one does not hide its cost.
   ImpairmentPlan plan;
   if (impairment_ != nullptr) plan = impairment_->next();
   if (plan.dropped) {
-    ++stats_.impair_drops;
-    if (observer_ != nullptr) {
-      observer_->on_drop(d, net::DropReason::kRandomLoss);
+    stats_.impair_drops += frames;
+    if (d != nullptr && observer_ != nullptr) {
+      observer_->on_drop(*d, net::DropReason::kRandomLoss);
     }
     return;
   }
-  if (plan.copies > 1) ++stats_.impair_duplicates;
+  if (plan.copies > 1) stats_.impair_duplicates += frames;
   for (int c = 0; c < plan.copies; ++c) {
     const util::Duration delay =
         plan.delay[std::min(c, ImpairmentPlan::kMaxCopies - 1)];
     if (delay <= 0) {
-      transmit(from.fd, *dest, datagram);
+      transmit(from.fd, dest, datagram);
     } else {
-      ++stats_.impair_delays;
+      stats_.impair_delays += frames;
       // Copy the destination state: the peer table may be edited before
       // the timer fires.
-      scheduler_.after(delay, [this, fd = from.fd, d2 = *dest, datagram] {
+      scheduler_.after(delay, [this, fd = from.fd, d2 = dest, datagram] {
         transmit(fd, d2, datagram);
       });
     }
@@ -246,38 +297,81 @@ void UdpTransport::on_readable(Binding& binding) {
   // Drain the socket: poll() is level-triggered but each wakeup costs a
   // loop iteration, so take everything available now.
   while (true) {
-    const ssize_t n = ::recvfrom(binding.fd, buf, sizeof(buf), 0, nullptr,
-                                 nullptr);
-    if (n < 0) return;  // EAGAIN (or a transient error): wait for poll
+    const ssize_t n =
+        recv_fn_ ? recv_fn_(binding.fd, buf, sizeof(buf))
+                 : ::recvfrom(binding.fd, buf, sizeof(buf), 0, nullptr,
+                              nullptr);
+    if (n < 0) {
+      // A signal mid-call left the datagram in the queue: retry now
+      // instead of waiting for the next poll wakeup.
+      if (errno == EINTR) continue;
+      // Drained — the normal exit of the level-triggered loop.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Anything else is a sick socket (EBADF, ENOTSOCK, ECONNREFUSED
+      // from an ICMP error, ...): count it so it is distinguishable from
+      // "no data", then let poll decide whether to call us again.
+      ++stats_.recv_errors;
+      return;
+    }
     ++stats_.datagrams_received;
-    auto frame = decode_frame(buf, static_cast<std::size_t>(n));
-    if (!frame.has_value()) {
+    auto frames = decode_datagram(buf, static_cast<std::size_t>(n));
+    if (!frames.has_value()) {
       ++stats_.frame_decode_errors;
       continue;
     }
-    if (frame->to != binding.self()) {
-      ++stats_.misdirected;
+    if (frames->size() == 1) {
+      // Bare version-1 frame: Delivery::bytes is the datagram size, as it
+      // always was.
+      deliver_frame(binding, std::move(frames->front()),
+                    static_cast<std::size_t>(n));
       continue;
     }
-
-    net::Delivery d;
-    d.from = frame->from;
-    d.to = frame->to;
-    d.expensive = frame->expensive;
-    d.bytes = static_cast<std::size_t>(n);
-    d.kind = std::move(frame->kind);
-    d.sent_at = scheduler_.now();  // sender clocks are not comparable
-    d.hops = 1;
-    d.trace_id = frame->trace_id;
-    d.payload = codec_.decode(frame->payload.data(), frame->payload.size());
-    if (!d.payload.has_value()) {
-      // Malformed body from an untrusted peer: hand the empty payload up
-      // so the protocol's own decode_errors counter sees it.
-      ++stats_.payload_decode_errors;
+    for (Frame& frame : *frames) {
+      // Contained frame: charge what it would have cost standalone
+      // (header + kind + payload; see wire.h).
+      const std::size_t wire_bytes =
+          26 + frame.kind.size() + frame.payload.size();
+      deliver_frame(binding, std::move(frame), wire_bytes);
     }
-    if (observer_ != nullptr) observer_->on_deliver(d);
-    binding.deliver(d);
   }
+}
+
+void UdpTransport::deliver_frame(Binding& binding, Frame frame,
+                                 std::size_t wire_bytes) {
+  if (frame.to != binding.self()) {
+    ++stats_.misdirected;
+    return;
+  }
+  net::Delivery d;
+  d.from = frame.from;
+  d.to = frame.to;
+  d.expensive = frame.expensive;
+  d.bytes = wire_bytes;
+  d.kind = std::move(frame.kind);
+  d.sent_at = scheduler_.now();  // sender clocks are not comparable
+  d.hops = 1;
+  d.trace_id = frame.trace_id;
+  d.payload = codec_.decode(frame.payload.data(), frame.payload.size());
+  if (!d.payload.has_value()) {
+    // Malformed body from an untrusted peer: hand the empty payload up
+    // so the protocol's own decode_errors counter sees it.
+    ++stats_.payload_decode_errors;
+  }
+  if (observer_ != nullptr) observer_->on_deliver(d);
+  binding.deliver(d);
+}
+
+Coalescer::Stats UdpTransport::coalescer_stats() const {
+  Coalescer::Stats total;
+  for (const auto& [host, binding] : bindings_) {
+    if (binding->coalescer == nullptr) continue;
+    const Coalescer::Stats& s = binding->coalescer->stats();
+    total.frames_enqueued += s.frames_enqueued;
+    total.batches_flushed += s.batches_flushed;
+    total.size_flushes += s.size_flushes;
+    total.deadline_flushes += s.deadline_flushes;
+  }
+  return total;
 }
 
 }  // namespace rbcast::transport

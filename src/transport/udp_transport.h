@@ -28,8 +28,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "net/message.h"
+#include "transport/coalescer.h"
 #include "transport/impairment.h"
+#include "transport/wire.h"
 #include "transport/transport.h"
 #include "util/ids.h"
 #include "util/real_time_scheduler.h"
@@ -50,6 +54,9 @@ class UdpTransport final : public Transport {
   struct Config {
     std::vector<Peer> peers;
     ImpairmentConfig impairment{};
+    // Per-destination outbound batching; disabled (flush_delay 0) sends
+    // every frame as its own version-1 datagram, exactly as before.
+    CoalescerConfig coalesce{};
   };
 
   struct Stats {
@@ -59,6 +66,12 @@ class UdpTransport final : public Transport {
     std::uint64_t payload_decode_errors{0}; // frame ok, codec rejected body
     std::uint64_t misdirected{0};           // frame.to is not the socket owner
     std::uint64_t send_errors{0};           // unknown peer or sendto failure
+    // Hard recvfrom errors (not EAGAIN/EWOULDBLOCK, not EINTR): counted
+    // so a sick socket is distinguishable from a drained one.
+    std::uint64_t recv_errors{0};
+    // Impairment stats count CONTAINED FRAMES, not datagrams: dropping a
+    // batch of 5 loses 5 frames, and the sim-vs-real comparison reasons
+    // about frames. (With batching off the two units coincide.)
     std::uint64_t impair_drops{0};
     std::uint64_t impair_duplicates{0};
     std::uint64_t impair_delays{0};
@@ -94,26 +107,49 @@ class UdpTransport final : public Transport {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // Aggregate coalescer stats over attached hosts (zeros when batching is
+  // off).
+  [[nodiscard]] Coalescer::Stats coalescer_stats() const;
+
+  // Test seam for the receive loop: replaces ::recvfrom so regression
+  // tests can inject EINTR, EAGAIN and hard errno values. The callable
+  // must behave like recvfrom(fd, buf, len, 0, nullptr, nullptr):
+  // return the datagram size, or -1 with errno set.
+  using RecvFn = std::function<ssize_t(int fd, void* buf, std::size_t len)>;
+  void set_recv_fn_for_test(RecvFn fn) { recv_fn_ = std::move(fn); }
+
  private:
   class Binding;
   struct PeerState;
 
   void send_from(Binding& from, HostId to, std::any payload,
                  std::size_t bytes, std::string kind, net::TraceId trace_id);
+  // Coalescer flush: materialises one datagram from `items`, draws the
+  // impairment plan once for it, and counts impairment per contained frame.
+  void flush_from(Binding& from, HostId to,
+                  std::vector<Coalescer::Item> items);
+  // `frames` is the contained-frame count for impairment accounting; `d`
+  // (unbatched path only) lets the observer see impairment drops.
+  void send_datagram(Binding& from, const PeerState& dest,
+                     const std::string& datagram, std::size_t frames,
+                     const net::Delivery* d = nullptr);
   void transmit(int fd, const PeerState& dest, const std::string& datagram);
   void on_readable(Binding& binding);
+  void deliver_frame(Binding& binding, Frame frame, std::size_t wire_bytes);
   [[nodiscard]] PeerState* find_peer(HostId host);
   [[nodiscard]] const PeerState* find_peer(HostId host) const;
 
   util::RealTimeScheduler& scheduler_;
   const PayloadCodec& codec_;
   ImpairmentConfig impairment_config_;
+  CoalescerConfig config_coalesce_;
   std::unique_ptr<Impairment> impairment_;  // null when not enabled
   net::NetObserver* observer_{nullptr};
   std::vector<std::unique_ptr<PeerState>> peers_;
   // Ordered by host id so shutdown order is deterministic.
   std::map<std::int32_t, std::unique_ptr<Binding>> bindings_;
   Stats stats_;
+  RecvFn recv_fn_;  // test-only recvfrom replacement; empty in production
 };
 
 }  // namespace rbcast::transport

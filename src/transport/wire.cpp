@@ -20,6 +20,11 @@ void put_u32(std::string& out, std::uint32_t v) {
   }
 }
 
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
 void put_u64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -34,6 +39,16 @@ class Reader {
   [[nodiscard]] bool take_u8(std::uint8_t& v) {
     if (pos_ + 1 > size_) return false;
     v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool take_u16(std::uint16_t& v) {
+    if (pos_ + 2 > size_) return false;
+    v = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_]) |
+        (static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_ + 1]))
+         << 8));
+    pos_ += 2;
     return true;
   }
 
@@ -85,7 +100,7 @@ std::string encode_frame(const Frame& frame) {
   std::string out;
   out.reserve(26 + frame.kind.size() + frame.payload.size());
   out.append(kMagic, sizeof(kMagic));
-  put_u8(out, kWireVersion);
+  put_u8(out, kSingleFrameVersion);
   put_u32(out, static_cast<std::uint32_t>(frame.from.value));
   put_u32(out, static_cast<std::uint32_t>(frame.to.value));
   put_u8(out, frame.expensive ? 1 : 0);
@@ -101,7 +116,9 @@ std::optional<Frame> decode_frame(const char* data, std::size_t size) {
   if (size < 4 || std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
     return std::nullopt;
   }
-  if (static_cast<std::uint8_t>(data[3]) != kWireVersion) return std::nullopt;
+  if (static_cast<std::uint8_t>(data[3]) != kSingleFrameVersion) {
+    return std::nullopt;
+  }
   Reader r(data + 4, size - 4);
 
   Frame f;
@@ -129,6 +146,84 @@ std::optional<Frame> decode_frame(const char* data, std::size_t size) {
   }
   if (r.remaining() != 0) return std::nullopt;  // padded datagram
   return f;
+}
+
+std::string encode_batch_container(
+    const std::vector<std::string>& encoded_frames) {
+  RBCAST_ASSERT_MSG(!encoded_frames.empty(), "empty batch container");
+  RBCAST_ASSERT_MSG(encoded_frames.size() <= kMaxBatchFrames,
+                    "batch container too large");
+  std::size_t total = kBatchHeaderBytes;
+  for (const std::string& f : encoded_frames) {
+    total += kBatchPerFrameBytes + f.size();
+  }
+  std::string out;
+  out.reserve(total);
+  out.append(kMagic, sizeof(kMagic));
+  put_u8(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(encoded_frames.size()));
+  for (const std::string& f : encoded_frames) {
+    put_u32(out, static_cast<std::uint32_t>(f.size()));
+    out.append(f);
+  }
+  return out;
+}
+
+std::optional<std::string> encode_batch(const std::vector<Frame>& frames,
+                                        std::size_t max_bytes) {
+  if (frames.empty() || frames.size() > kMaxBatchFrames) return std::nullopt;
+  if (frames.size() == 1) {
+    std::string out = encode_frame(frames.front());
+    if (out.size() > max_bytes) return std::nullopt;
+    return out;
+  }
+  std::vector<std::string> encoded;
+  encoded.reserve(frames.size());
+  std::size_t total = kBatchHeaderBytes;
+  for (const Frame& f : frames) {
+    encoded.push_back(encode_frame(f));
+    total += kBatchPerFrameBytes + encoded.back().size();
+  }
+  if (total > max_bytes) return std::nullopt;
+  return encode_batch_container(encoded);
+}
+
+std::optional<std::vector<Frame>> decode_datagram(const char* data,
+                                                  std::size_t size) {
+  if (size < 4 || std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  const auto version = static_cast<std::uint8_t>(data[3]);
+  if (version == kSingleFrameVersion) {
+    auto f = decode_frame(data, size);
+    if (!f) return std::nullopt;
+    std::vector<Frame> out;
+    out.push_back(*std::move(f));
+    return out;
+  }
+  if (version != kWireVersion) return std::nullopt;
+
+  Reader r(data + 4, size - 4);
+  std::uint16_t count = 0;
+  if (!r.take_u16(count) || count == 0) return std::nullopt;
+  std::vector<Frame> out;
+  out.reserve(count);
+  std::string bytes;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    if (!r.take_u32(len)) return std::nullopt;
+    // A contained frame is at least an empty-kind, empty-payload frame
+    // (26 bytes); the cap mirrors decode_frame's own limits.
+    if (len > kBatchPerFrameBytes + 26 + kMaxKind + kMaxPayload) {
+      return std::nullopt;
+    }
+    if (!r.take_bytes(bytes, len)) return std::nullopt;
+    auto f = decode_frame(bytes.data(), bytes.size());
+    if (!f) return std::nullopt;
+    out.push_back(*std::move(f));
+  }
+  if (r.remaining() != 0) return std::nullopt;  // padded container
+  return out;
 }
 
 }  // namespace rbcast::transport

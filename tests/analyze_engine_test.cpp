@@ -121,6 +121,38 @@ TEST(LayerPass, InterfaceOnlyRestrictionDoesNotBindOtherLayers) {
   EXPECT_FALSE(fires(r.findings, "layer-violation"));
 }
 
+TEST(LayerPass, CoalescerSitsInsideTheTransportLayer) {
+  // The coalescing data plane is transport-internal: transport/coalescer.h
+  // reaches down to net and util, and both backends include it — all of
+  // that is DAG-legal and must stay quiet.
+  const auto r = run({
+      {"src/transport/coalescer.h",
+       "#pragma once\n#include \"net/message.h\"\n"
+       "#include \"util/scheduler.h\"\n"},
+      {"src/transport/udp_transport.h",
+       "#pragma once\n#include \"transport/coalescer.h\"\n"},
+      {"src/transport/sim_transport.h",
+       "#pragma once\n#include \"transport/coalescer.h\"\n"},
+      {"src/net/message.h", "#pragma once\n"},
+      {"src/util/scheduler.h", "#pragma once\n"},
+  });
+  EXPECT_FALSE(fires(r.findings, "layer-violation"));
+  EXPECT_FALSE(fires(r.findings, "layer-unknown"));
+}
+
+TEST(LayerPass, InterfaceOnlyEdgeRejectsCoalescerFromCore) {
+  // Batching stays behind the Transport seam: the protocol automaton
+  // configures it through core::Config knobs, never by including the
+  // coalescer — core -> transport is restricted to transport/transport.h.
+  const auto r = run({
+      {"src/core/broadcast_host.h",
+       "#pragma once\n#include \"transport/coalescer.h\"\n"},
+      {"src/transport/coalescer.h", "#pragma once\n"},
+  });
+  ASSERT_TRUE(fires(r.findings, "layer-violation"));
+  EXPECT_NE(r.findings[0].message.find("interface-only"), std::string::npos);
+}
+
 TEST(LayerPass, UnknownLayerFlagged) {
   const auto r = run({
       {"src/zebra/a.h", "#pragma once\n#include \"util/rng.h\"\n"},
@@ -306,6 +338,29 @@ TEST(AllocPass, NestedLambdaStillAttributedToHotFunction) {
                        "  });\n"
                        "}\n"}});
   EXPECT_TRUE(fires(r.findings, "hot-alloc"));
+}
+
+TEST(AllocPass, RefcountedPayloadRelayStaysAllocationFree) {
+  // The zero-copy fan-out claim, pinned as an analyzer expectation:
+  // relaying a message on the BroadcastHost hot path copies Payload
+  // handles (refcount bumps), which the scan does not flag — whereas the
+  // pre-Payload idiom (std::string body stored per relay via emplace)
+  // fired hot-alloc and needed a waiver. The buffer copy happens once, at
+  // decode/record time, outside the hot set.
+  const auto clean = run({{"src/core/broadcast_host.cpp",
+                           "void BroadcastHost::on_delivery(Delivery d) {\n"
+                           "  const Payload* body = state_.body_of(seq);\n"
+                           "  Payload shared = *body;\n"
+                           "  send_message(child, make_data(seq, shared));\n"
+                           "}\n"}});
+  EXPECT_FALSE(fires(clean.findings, "hot-alloc"));
+
+  const auto old_idiom =
+      run({{"src/core/broadcast_host.cpp",
+            "void BroadcastHost::on_delivery(Delivery d) {\n"
+            "  bodies_.emplace(seq, std::string(body));\n"
+            "}\n"}});
+  EXPECT_TRUE(fires(old_idiom.findings, "hot-alloc"));
 }
 
 // --- waivers ------------------------------------------------------------

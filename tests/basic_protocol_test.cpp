@@ -33,7 +33,7 @@ struct Fixture {
     receivers.resize(static_cast<std::size_t>(n));
     for (int i = 1; i < n; ++i) {
       receivers[static_cast<std::size_t>(i)] = std::make_unique<BasicReceiver>(
-          hub.endpoint(HostId{i}), [this, i](Seq seq, const std::string&) {
+          hub.endpoint(HostId{i}), [this, i](Seq seq, std::string_view) {
             delivered[static_cast<std::size_t>(i)].push_back(seq);
           });
       hub.register_host(HostId{i}, [this, i](const net::Delivery& d) {

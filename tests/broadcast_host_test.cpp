@@ -45,7 +45,7 @@ struct Cluster {
       nodes.push_back(std::make_unique<BroadcastHost>(
           sim, hub.endpoint(id), source, all, config,
           rngs.stream("jitter", i),
-          [this, i](Seq seq, const std::string&) {
+          [this, i](Seq seq, std::string_view) {
             delivered[static_cast<std::size_t>(i)].push_back(seq);
           }));
       hub.register_host(id, [this, i](const net::Delivery& d) {

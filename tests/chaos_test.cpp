@@ -62,6 +62,8 @@ TEST(ChaosSpec, RoundTripPreservesGeneratorFields) {
   spec.jitter_topology = true;
   spec.piggyback_info = false;
   spec.attach_period_s = 2.5;
+  spec.batch_flush_ms = 5;
+  spec.batch_max_bytes = 1200;
   const ChaosSpec back = parse_chaos_spec(to_json(spec));
   EXPECT_EQ(back.clusters, spec.clusters);
   EXPECT_EQ(back.broadcasts, spec.broadcasts);
@@ -71,6 +73,10 @@ TEST(ChaosSpec, RoundTripPreservesGeneratorFields) {
   EXPECT_FALSE(*back.piggyback_info);
   ASSERT_TRUE(back.attach_period_s.has_value());
   EXPECT_DOUBLE_EQ(*back.attach_period_s, 2.5);
+  ASSERT_TRUE(back.batch_flush_ms.has_value());
+  EXPECT_DOUBLE_EQ(*back.batch_flush_ms, 5.0);
+  ASSERT_TRUE(back.batch_max_bytes.has_value());
+  EXPECT_EQ(*back.batch_max_bytes, 1200);
   EXPECT_FALSE(back.concrete);
 }
 

@@ -47,7 +47,7 @@ struct Fixture {
       const auto idx = static_cast<std::size_t>(h.value);
       nodes.push_back(std::make_unique<MultiSourceNode>(
           simulator, network->endpoint(h), sources, all, fast_config(), rngs,
-          [this, idx](HostId source, Seq seq, const std::string&) {
+          [this, idx](HostId source, Seq seq, std::string_view) {
             delivered[idx][source].push_back(seq);
           }));
       network->register_host(h, [this, idx](const net::Delivery& d) {

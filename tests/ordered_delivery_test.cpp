@@ -10,7 +10,7 @@ namespace {
 
 struct Capture {
   std::vector<util::Seq> out;
-  OrderedDeliveryAdapter adapter{[this](util::Seq s, const std::string&) {
+  OrderedDeliveryAdapter adapter{[this](util::Seq s, std::string_view) {
     out.push_back(s);
   }};
 };

@@ -211,7 +211,7 @@ TEST(UdpTransport, RunsTwoBroadcastHostsEndToEnd) {
                              rngs.stream("host.jitter", 0));
   core::BroadcastHost sink(
       udp, HostId{1}, HostId{0}, all, fast, rngs.stream("host.jitter", 1),
-      [&](util::Seq seq, const std::string&) { delivered.push_back(seq); });
+      [&](util::Seq seq, std::string_view) { delivered.push_back(seq); });
   source.start();
   sink.start();
 
@@ -229,6 +229,273 @@ TEST(UdpTransport, RunsTwoBroadcastHostsEndToEnd) {
 
   EXPECT_EQ(delivered, (std::vector<util::Seq>{1, 2}));
   EXPECT_EQ(sink.counters().decode_errors, 0u);
+}
+
+// --- SimTransport batching --------------------------------------------------
+
+TEST(SimTransport, BatchingCoalescesSendsAndUnpacksPerFrameDeliveries) {
+  sim::Simulator sim;
+  topo::ClusteredWanOptions opts;
+  opts.clusters = 1;
+  opts.hosts_per_cluster = 2;
+  topo::Wan wan = make_clustered_wan(opts);
+  util::RngFactory rngs(3);
+  net::Network network(sim, wan.topology, net::NetConfig{}, rngs);
+  CoalescerConfig coalesce;
+  coalesce.flush_delay = sim::milliseconds(5);
+  coalesce.max_bytes = 1200;
+  SimTransport transport(sim, network, coalesce);
+  ASSERT_TRUE(transport.batching());
+
+  std::vector<std::string> got;
+  net::HostEndpoint& ep0 =
+      transport.attach(HostId{0}, [&](const net::Delivery&) {});
+  transport.attach(HostId{1}, [&](const net::Delivery& d) {
+    // The receive side must see per-frame deliveries, not the container.
+    got.push_back(d.kind + "/" + std::to_string(d.bytes));
+  });
+
+  ep0.send(HostId{1}, std::any{std::string("a")}, 16, "data", 0);
+  ep0.send(HostId{1}, std::any{std::string("b")}, 20, "info", 0);
+  ep0.send(HostId{1}, std::any{std::string("c")}, 16, "data", 0);
+  sim.run_for(sim::seconds(1));
+
+  EXPECT_EQ(got, (std::vector<std::string>{"data/16", "info/20", "data/16"}));
+  const Coalescer::Stats stats = transport.coalescer_stats();
+  EXPECT_EQ(stats.frames_enqueued, 3u);
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.size_flushes, 0u);
+}
+
+// --- UdpTransport receive loop (the bugfix sweep) ---------------------------
+
+TEST(UdpTransport, RecvLoopRetriesImmediatelyAfterEintr) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) {
+    ++delivered;
+    rt.stop();
+  });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  // First call: a signal interrupted recvfrom. The loop must retry at
+  // once (the datagram is still queued), not bail out or count an error.
+  int eintrs = 0;
+  udp.set_recv_fn_for_test(
+      [&](int fd, void* buf, std::size_t len) -> ssize_t {
+        if (eintrs == 0) {
+          ++eintrs;
+          errno = EINTR;
+          return -1;
+        }
+        return ::recvfrom(fd, buf, len, 0, nullptr, nullptr);
+      });
+
+  core::DataMsg data;
+  data.seq = 1;
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  rt.run_for(util::seconds(5));
+
+  EXPECT_EQ(eintrs, 1);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(udp.stats().recv_errors, 0u);
+  EXPECT_EQ(udp.stats().datagrams_received, 1u);
+}
+
+TEST(UdpTransport, RecvLoopTreatsEagainAsDrainedNotAsAnError) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) { ++delivered; });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  int calls = 0;
+  udp.set_recv_fn_for_test([&](int, void*, std::size_t) -> ssize_t {
+    ++calls;
+    errno = EAGAIN;
+    return -1;
+  });
+
+  // A real datagram parks in the socket buffer so poll keeps reporting
+  // readable; the fake recv never hands it over.
+  core::DataMsg data;
+  data.seq = 1;
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  rt.after(util::milliseconds(150), [&] { rt.stop(); });
+  rt.run_for(util::seconds(2));
+
+  EXPECT_GE(calls, 1);  // the loop ran and exited at EAGAIN...
+  EXPECT_EQ(udp.stats().recv_errors, 0u);       // ...without counting errors
+  EXPECT_EQ(udp.stats().datagrams_received, 0u);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(UdpTransport, HardRecvErrorsAreCountedAndTheTransportSurvives) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) {
+    ++delivered;
+    rt.stop();
+  });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  // First call: a hard socket error (not EINTR, not EAGAIN). It must be
+  // counted in recv_errors — distinguishable from a drained socket — and
+  // must not kill the transport: the next wakeup still drains the queue.
+  int hard_errors = 0;
+  udp.set_recv_fn_for_test(
+      [&](int fd, void* buf, std::size_t len) -> ssize_t {
+        if (hard_errors == 0) {
+          ++hard_errors;
+          errno = EBADF;
+          return -1;
+        }
+        return ::recvfrom(fd, buf, len, 0, nullptr, nullptr);
+      });
+
+  core::DataMsg data;
+  data.seq = 1;
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  rt.run_for(util::seconds(5));
+
+  EXPECT_EQ(hard_errors, 1);
+  EXPECT_EQ(udp.stats().recv_errors, 1u);
+  EXPECT_EQ(delivered, 1);  // the queued datagram was still delivered
+}
+
+// --- UdpTransport batching --------------------------------------------------
+
+TEST(UdpTransport, CoalescesFramesIntoOneBatchDatagram) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport::Config cfg = two_host_config();
+  cfg.coalesce.flush_delay = util::milliseconds(20);
+  cfg.coalesce.max_bytes = 1200;
+  UdpTransport udp(rt, codec, cfg);
+
+  std::vector<util::Seq> got;
+  udp.attach(HostId{1}, [&](const net::Delivery& d) {
+    if (const auto* m = std::any_cast<core::ProtocolMessage>(&d.payload)) {
+      if (const auto* data = std::get_if<core::DataMsg>(m)) {
+        got.push_back(data->seq);
+      }
+    }
+    if (got.size() == 4) rt.stop();
+  });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  for (util::Seq seq = 1; seq <= 4; ++seq) {
+    core::DataMsg data;
+    data.seq = seq;
+    data.body = "m" + std::to_string(seq);
+    ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 32, "data", 0);
+  }
+  rt.run_for(util::seconds(5));
+
+  // All four frames arrive, in enqueue order, out of ONE wire datagram.
+  EXPECT_EQ(got, (std::vector<util::Seq>{1, 2, 3, 4}));
+  EXPECT_EQ(udp.stats().datagrams_sent, 1u);
+  EXPECT_EQ(udp.stats().datagrams_received, 1u);
+  const Coalescer::Stats stats = udp.coalescer_stats();
+  EXPECT_EQ(stats.frames_enqueued, 4u);
+  EXPECT_EQ(stats.batches_flushed, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+}
+
+TEST(UdpTransport, BatchBudgetOverflowFlushesEarly) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport::Config cfg = two_host_config();
+  cfg.coalesce.flush_delay = util::milliseconds(20);
+  // Room for one encoded DataMsg frame but not two: the second enqueue
+  // must push the first out as a size flush instead of overflowing.
+  cfg.coalesce.max_bytes = 70;
+  UdpTransport udp(rt, codec, cfg);
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) {
+    if (++delivered == 2) rt.stop();
+  });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  for (util::Seq seq = 1; seq <= 2; ++seq) {
+    core::DataMsg data;
+    data.seq = seq;
+    data.body = "x";
+    ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 32, "data", 0);
+  }
+  rt.run_for(util::seconds(5));
+
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(udp.stats().datagrams_sent, 2u);
+  const Coalescer::Stats stats = udp.coalescer_stats();
+  EXPECT_EQ(stats.frames_enqueued, 2u);
+  EXPECT_EQ(stats.batches_flushed, 2u);
+  EXPECT_EQ(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+}
+
+TEST(UdpTransport, ImpairmentDrawsOncePerDatagramAndCountsFrames) {
+  // Pin the draw order: batching must consume ONE impairment plan per
+  // datagram, not one per frame, and the impair_* stats must count the
+  // contained frames. A reference Impairment with the same seed predicts
+  // the exact fate of each of the two batches below.
+  ImpairmentConfig icfg;
+  icfg.loss = 0.5;
+  icfg.seed = 7;
+  Impairment ref(icfg);
+  const bool first_dropped = ref.next().dropped;
+  const bool second_dropped = ref.next().dropped;
+
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport::Config cfg = two_host_config();
+  cfg.impairment = icfg;
+  cfg.coalesce.flush_delay = util::milliseconds(20);
+  cfg.coalesce.max_bytes = 1200;
+  UdpTransport udp(rt, codec, cfg);
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) { ++delivered; });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  const auto send_one = [&](util::Seq seq) {
+    core::DataMsg data;
+    data.seq = seq;
+    ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  };
+  // Batch 1: three frames. Batch 2 (after the first deadline flush): two.
+  rt.after(util::milliseconds(1), [&] {
+    send_one(1);
+    send_one(2);
+    send_one(3);
+  });
+  rt.after(util::milliseconds(100), [&] {
+    send_one(4);
+    send_one(5);
+  });
+  rt.after(util::milliseconds(300), [&] { rt.stop(); });
+  rt.run_for(util::seconds(5));
+
+  const std::uint64_t expected_drops =
+      (first_dropped ? 3u : 0u) + (second_dropped ? 2u : 0u);
+  EXPECT_EQ(udp.stats().impair_drops, expected_drops);
+  EXPECT_EQ(udp.stats().datagrams_sent,
+            (first_dropped ? 0u : 1u) + (second_dropped ? 0u : 1u));
+  EXPECT_EQ(delivered,
+            (first_dropped ? 0 : 3) + (second_dropped ? 0 : 2));
+  const Coalescer::Stats stats = udp.coalescer_stats();
+  EXPECT_EQ(stats.frames_enqueued, 5u);
+  EXPECT_EQ(stats.batches_flushed, 2u);
 }
 
 // --- impairment -------------------------------------------------------------

@@ -264,6 +264,175 @@ TEST(FrameCodec, MalformedFramesRejected) {
   }
 }
 
+// --- batch container (wire version 2) ---------------------------------------
+
+transport::Frame make_frame(int from, int to, std::string kind,
+                            std::string payload) {
+  transport::Frame f;
+  f.from = HostId{from};
+  f.to = HostId{to};
+  f.kind = std::move(kind);
+  f.trace_id = static_cast<net::TraceId>(from) << 32 | to;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(BatchCodec, ContainerRoundTripsSeveralFrames) {
+  const std::vector<transport::Frame> frames = {
+      make_frame(0, 1, "data", "first"),
+      make_frame(0, 1, "info", std::string("\x00\xff", 2)),
+      make_frame(2, 1, "gapfill", ""),
+  };
+  const auto wire = transport::encode_batch(frames, 1200);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(static_cast<unsigned char>((*wire)[3]), transport::kWireVersion);
+
+  const auto out = transport::decode_datagram(wire->data(), wire->size());
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ((*out)[i].from, frames[i].from) << "frame " << i;
+    EXPECT_EQ((*out)[i].to, frames[i].to) << "frame " << i;
+    EXPECT_EQ((*out)[i].kind, frames[i].kind) << "frame " << i;
+    EXPECT_EQ((*out)[i].trace_id, frames[i].trace_id) << "frame " << i;
+    EXPECT_EQ((*out)[i].payload, frames[i].payload) << "frame " << i;
+  }
+}
+
+TEST(BatchCodec, BatchOfOneIsABareVersion1Frame) {
+  const transport::Frame f = make_frame(1, 2, "data", "solo");
+  const auto wire = transport::encode_batch({f}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  // Not a container: byte-identical to the single-frame encoder, so a
+  // batch-of-one is indistinguishable from the pre-batching wire format.
+  EXPECT_EQ(*wire, transport::encode_frame(f));
+  const auto out = transport::decode_datagram(wire->data(), wire->size());
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].payload, "solo");
+}
+
+TEST(BatchCodec, EmptyFlushIsNoDatagram) {
+  EXPECT_FALSE(transport::encode_batch({}, 1200).has_value());
+}
+
+TEST(BatchCodec, OverBudgetBatchRejectedAtEncode) {
+  const std::vector<transport::Frame> frames = {
+      make_frame(0, 1, "data", std::string(600, 'a')),
+      make_frame(0, 1, "data", std::string(600, 'b')),
+  };
+  EXPECT_FALSE(transport::encode_batch(frames, 1200).has_value());
+  // The same frames fit a bigger budget — the bound is the budget, not
+  // the frames.
+  EXPECT_TRUE(transport::encode_batch(frames, 2000).has_value());
+}
+
+TEST(BatchCodec, Version1FrameDecodesUnderTheVersion2Reader) {
+  // v1/v2 compatibility matrix, old-sender direction: a pre-batching peer's
+  // bare frame must decode as a batch of one under the new reader.
+  const transport::Frame f = make_frame(4, 5, "attach_req", "payload");
+  const std::string wire = transport::encode_frame(f);
+  EXPECT_EQ(static_cast<unsigned char>(wire[3]),
+            transport::kSingleFrameVersion);
+  const auto out = transport::decode_datagram(wire.data(), wire.size());
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].kind, "attach_req");
+  EXPECT_EQ((*out)[0].payload, "payload");
+}
+
+TEST(BatchCodec, ContainerRejectedByTheVersion1Decoder) {
+  // Old-receiver direction: a pre-batching peer drops a container whole
+  // (version byte 2) rather than mis-parsing it — which is why batching
+  // must only be enabled toward peers that understand it.
+  const auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "a"), make_frame(0, 1, "data", "b")}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_FALSE(transport::decode_frame(wire->data(), wire->size()).has_value());
+}
+
+TEST(BatchCodec, TruncatedContainerDeliversNothing) {
+  const auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "first"), make_frame(0, 1, "data", "second"),
+       make_frame(0, 1, "data", "third")},
+      1200);
+  ASSERT_TRUE(wire.has_value());
+  // Every strict prefix fails whole — even prefixes that still hold one or
+  // two complete contained frames. No partial delivery.
+  for (std::size_t n = 0; n < wire->size(); ++n) {
+    EXPECT_FALSE(transport::decode_datagram(wire->data(), n).has_value())
+        << "len " << n;
+  }
+}
+
+TEST(BatchCodec, TrailingBytesAfterContainerRejected) {
+  auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "a"), make_frame(0, 1, "data", "b")}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  wire->push_back('\0');
+  EXPECT_FALSE(
+      transport::decode_datagram(wire->data(), wire->size()).has_value());
+}
+
+TEST(BatchCodec, ZeroFrameCountRejected) {
+  auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "a"), make_frame(0, 1, "data", "b")}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  (*wire)[4] = '\0';  // count u16 LE -> 0
+  (*wire)[5] = '\0';
+  EXPECT_FALSE(
+      transport::decode_datagram(wire->data(), wire->size()).has_value());
+}
+
+TEST(BatchCodec, HostileContainedFrameLengthRejected) {
+  auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "a"), make_frame(0, 1, "data", "b")}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  // First per-frame length prefix sits right after the 6-byte header;
+  // claim far more bytes than the datagram holds.
+  (*wire)[6] = '\xff';
+  (*wire)[7] = '\xff';
+  (*wire)[8] = '\xff';
+  (*wire)[9] = '\x7f';
+  EXPECT_FALSE(
+      transport::decode_datagram(wire->data(), wire->size()).has_value());
+}
+
+TEST(BatchCodec, CorruptContainedFrameRejectsTheWholeBatch) {
+  auto wire = transport::encode_batch(
+      {make_frame(0, 1, "data", "a"), make_frame(0, 1, "data", "b")}, 1200);
+  ASSERT_TRUE(wire.has_value());
+  (*wire)[10] = 'X';  // second frame's magic starts after header+len; this
+                      // hits the FIRST contained frame's magic byte
+  EXPECT_FALSE(
+      transport::decode_datagram(wire->data(), wire->size()).has_value());
+}
+
+TEST(BatchCodec, FuzzedBatchMutationsNeverCrash) {
+  const auto base = transport::encode_batch(
+      {make_frame(0, 1, "data", "fuzz-me"),
+       make_frame(2, 1, "info", std::string(40, 'x')),
+       make_frame(3, 1, "gapfill", "")},
+      1200);
+  ASSERT_TRUE(base.has_value());
+  util::Rng rng(2026);
+  for (int round = 0; round < 2000; ++round) {
+    std::string wire = *base;
+    // Bias half the rounds at the 10-byte header region (version, count,
+    // first length prefix) where the interesting parsing decisions live.
+    const std::size_t limit = (round % 2 == 0) ? 10 : wire.size();
+    const int flips = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(limit) - 1));
+      wire[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    // Either outcome is fine; surviving without UB is the assertion (ASan
+    // and UBSan builds make that check real).
+    (void)transport::decode_datagram(wire.data(), wire.size());
+  }
+}
+
 // --- the ProtocolCodec bridge and the host's decode_errors counter ----------
 
 TEST(ProtocolCodec, EncodesAndDecodesThroughTheAbstractInterface) {

@@ -1,0 +1,27 @@
+# Runs bench_congestion --json and gates it against the committed baseline
+# (BENCH_congestion.json). Covers both the E5 burst-backlog rows and the
+# E5b sustained-overload rows that pin the batched data plane's win
+# (batched throughput strictly above unbatched, p99 no worse). The metrics
+# are virtual-time results of seeded simulations, so the comparison is
+# exact-by-construction; the 1.1x threshold exists only to tolerate
+# deliberate sub-10% baseline drift during reviewed behavior changes.
+set(current ${WORK_DIR}/bench_congestion_current.json)
+
+execute_process(
+  COMMAND ${BENCH} --json
+  OUTPUT_FILE ${current}
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_congestion --json failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${COMPARE} ${BASELINE} ${current} --threshold 1.1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "congestion metrics drifted from BENCH_congestion.json — if intentional, "
+    "regenerate with: ./build/bench/bench_congestion --json > "
+    "BENCH_congestion.json (${rc}):\n${out}${err}")
+endif()
+message(STATUS "bench_congestion gate passed")

@@ -7,6 +7,7 @@
 #      32 hosts, same message count);
 #   3. rbcast_trace --compare must report identical per-host delivery sets
 #      — the protocol promise that may not depend on which backend ran.
+file(MAKE_DIRECTORY ${WORK_DIR})
 set(real_trace ${WORK_DIR}/node_smoke.real.jsonl)
 set(sim_trace ${WORK_DIR}/node_smoke.sim.jsonl)
 

@@ -52,10 +52,18 @@ std::vector<DeterminismScenario> determinism_scenarios() {
   return out;
 }
 
-std::uint64_t run_once(const topo::Topology& topology, std::uint64_t seed) {
+std::uint64_t run_once(const topo::Topology& topology, std::uint64_t seed,
+                       bool batch) {
   harness::ScenarioOptions options;
   options.source = HostId{0};
   options.seed = seed;
+  if (batch) {
+    // Exercise the coalescing data plane: the digests differ from the
+    // unbatched ones (different wire traffic) but must still be
+    // bit-identical across same-seed runs.
+    options.protocol.batch_flush_delay = sim::milliseconds(5);
+    options.protocol.batch_max_bytes = 1200;
+  }
   harness::Experiment experiment(topology, options);
   experiment.start();
   experiment.broadcast_stream(15, sim::milliseconds(500), sim::seconds(1));
@@ -63,13 +71,13 @@ std::uint64_t run_once(const topo::Topology& topology, std::uint64_t seed) {
   return experiment.events().digest();
 }
 
-int run_determinism_check(std::uint64_t seed) {
+int run_determinism_check(std::uint64_t seed, bool batch) {
   bool ok = true;
   std::cout << "determinism check: two runs per topology, seed " << seed
-            << "\n";
+            << (batch ? ", batching on" : "") << "\n";
   for (DeterminismScenario& scenario : determinism_scenarios()) {
-    const std::uint64_t first = run_once(scenario.topology, seed);
-    const std::uint64_t second = run_once(scenario.topology, seed);
+    const std::uint64_t first = run_once(scenario.topology, seed, batch);
+    const std::uint64_t second = run_once(scenario.topology, seed, batch);
     const bool match = first == second;
     ok = ok && match;
     std::cout << "  " << std::left << std::setw(24) << scenario.name
@@ -100,6 +108,8 @@ void usage() {
       "  --mutant M        inject a bug: double-delivery | accept-anyone\n"
       "  --determinism-check  run each built-in topology twice on the same\n"
       "                    seed and require identical event-log digests\n"
+      "  --batch           with --determinism-check: enable transport\n"
+      "                    coalescing (batch_flush_delay 5ms) in the runs\n"
       "  --help            this text\n";
 }
 
@@ -117,6 +127,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool clusters_given = false;
   bool determinism_check = false;
+  bool batch = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,6 +165,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--determinism-check") {
       determinism_check = true;
+    } else if (arg == "--batch") {
+      batch = true;
     } else if (arg == "--mutant") {
       const std::string m = value();
       if (m == "double-delivery") {
@@ -169,7 +182,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (determinism_check) return run_determinism_check(seed);
+  if (determinism_check) return run_determinism_check(seed, batch);
   if (!clusters_given) {
     config.cluster_of.clear();
     for (int i = 0; i < config.hosts; ++i) config.cluster_of.push_back(i);

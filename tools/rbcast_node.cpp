@@ -22,7 +22,8 @@
 //     "messages": 20, "interval_ms": 100, "run_s": 30,
 //     "impairment": {"loss": 0.05, "duplicate": 0.02, "reorder": 0.1,
 //                    "delay_max_ms": 10, "seed": 7},
-//     "protocol": {"attach_period_ms": 200, "info_intra_ms": 100, ...}
+//     "protocol": {"attach_period_ms": 200, "info_intra_ms": 100,
+//                  "batch_flush_ms": 2, "batch_max_bytes": 1200, ...}
 //   }
 #include <cstdlib>
 #include <fstream>
@@ -163,6 +164,13 @@ NodeConfig load_config(const std::string& path) {
     p.data_bytes = static_cast<std::size_t>(
         util::json_int_or(*proto, "data_bytes",
                           static_cast<int>(p.data_bytes), kContext));
+    // Transport coalescing: batch_flush_ms > 0 buffers outbound frames
+    // per destination and flushes multi-frame (wire v2) datagrams.
+    p.batch_flush_delay = ms_or(*proto, "batch_flush_ms",
+                                p.batch_flush_delay);
+    p.batch_max_bytes = static_cast<std::size_t>(
+        util::json_int_or(*proto, "batch_max_bytes",
+                          static_cast<int>(p.batch_max_bytes), kContext));
   }
   return cfg;
 }
@@ -276,6 +284,8 @@ int main(int argc, char** argv) {
   transport::UdpTransport::Config tcfg;
   tcfg.peers = cfg.peers;
   tcfg.impairment = cfg.impairment;
+  tcfg.coalesce = transport::CoalescerConfig{cfg.protocol.batch_flush_delay,
+                                             cfg.protocol.batch_max_bytes};
 
   std::ofstream trace_file;
   std::unique_ptr<trace::JsonlSink> sink;

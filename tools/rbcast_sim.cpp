@@ -115,7 +115,8 @@ void usage() {
       "  --protocol P       paper|basic|gossip (default paper)\n"
       "  --messages N       stream length (default 30)\n"
       "  --interval-ms N    spacing between broadcasts (default 500)\n"
-      "  --arrivals A       uniform|poisson|bursty (default uniform)\n"
+      "  --arrivals A       uniform|poisson|bursty|sustained\n"
+      "                     (default uniform)\n"
       "  --burst N          messages per burst for bursty (default 5)\n"
       "run control:\n"
       "  --dot PREFIX       write PREFIX.topology.dot and\n"
@@ -209,6 +210,8 @@ bool parse(int argc, char** argv, CliOptions& options) {
         options.arrivals = harness::ArrivalProcess::kPoisson;
       } else if (a == "bursty") {
         options.arrivals = harness::ArrivalProcess::kBursty;
+      } else if (a == "sustained") {
+        options.arrivals = harness::ArrivalProcess::kSustained;
       } else {
         std::cerr << "unknown arrival process: " << a << "\n";
         return false;
