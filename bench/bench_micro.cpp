@@ -275,6 +275,64 @@ void BM_EventQueueMixed(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueMixed)->Arg(10000);
 
+// --- telemetry plane ------------------------------------------------------
+
+// The per-event cost observability adds to the data plane: one owned
+// counter increment. This must stay within noise of a bare uint64_t add —
+// the registry hands out a reference, so there is no lookup on the hot
+// path (DESIGN.md §14).
+void BM_RegistryCounterInc(benchmark::State& state) {
+  util::MetricsRegistry registry;
+  util::MetricsRegistry::Counter& counter =
+      registry.counter("bench.hot_path");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterInc);
+
+// One delivery-latency observation on the shared sampler bounds: a bucket
+// scan over ten bounds plus sum/count — what rbcast_node pays per
+// first-delivery.
+void BM_RegistryHistogramRecord(benchmark::State& state) {
+  util::MetricsRegistry registry;
+  util::Histogram& histogram = registry.histogram(
+      "bench.latency_seconds", trace::MetricSampler::latency_bounds());
+  double v = 0.0004;
+  for (auto _ : state) {
+    histogram.add(v);
+    v = v < 50.0 ? v * 1.7 : 0.0004;  // sweeps every bucket incl. +inf
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHistogramRecord);
+
+// Scrape-side cost: evaluating a fleet-sized registry (32 hosts x 10
+// callback series) into a snapshot, as every /metrics or /status hit does.
+// Off the data plane, but it shares the node's event loop.
+void BM_RegistrySnapshot(benchmark::State& state) {
+  util::MetricsRegistry registry;
+  std::uint64_t backing = 0;
+  for (int h = 0; h < 32; ++h) {
+    const std::string labels = "host=\"" + std::to_string(h) + "\"";
+    for (int s = 0; s < 10; ++s) {
+      registry.register_counter_fn("bench.series" + std::to_string(s),
+                                   labels, "",
+                                   [&backing] { return ++backing; });
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(registry.size()));
+}
+BENCHMARK(BM_RegistrySnapshot);
+
 // --- routing & full scenario --------------------------------------------
 
 void BM_RoutingRecompute(benchmark::State& state) {

@@ -58,6 +58,72 @@ BroadcastHost::~BroadcastHost() {
   // Detach before members die so an in-flight delivery can never reach a
   // half-destroyed host.
   if (transport_ != nullptr) transport_->detach(self());
+  if (metrics_registry_ != nullptr) {
+    for (const std::string& name : metrics_names_) {
+      metrics_registry_->unregister(name, metrics_labels_);
+    }
+  }
+}
+
+void BroadcastHost::register_metrics(util::MetricsRegistry& registry,
+                                     const std::string& labels) {
+  RBCAST_CHECK_ARG(metrics_registry_ == nullptr,
+                   "register_metrics: host already registered");
+  metrics_registry_ = &registry;
+  metrics_labels_ = labels;
+  struct Field {
+    const char* name;
+    const char* help;
+    std::uint64_t Counters::* member;
+  };
+  // The host.* metric schema (DESIGN.md §14); one labelled series per
+  // host, summed across labels by MetricSampler's registry record.
+  static constexpr Field kFields[] = {
+      {"host.attach_attempts", "Attachment procedure runs that sent a request",
+       &Counters::attach_attempts},
+      {"host.attach_timeouts", "Attach handshakes that timed out",
+       &Counters::attach_timeouts},
+      {"host.attaches_completed", "Attach handshakes accepted",
+       &Counters::attaches_completed},
+      {"host.cycles_broken", "Parent cycles detected and broken",
+       &Counters::cycles_broken},
+      {"host.parent_timeouts", "Parents declared dead by silence",
+       &Counters::parent_timeouts},
+      {"host.new_max_rejected", "New maxima offered by a non-parent, rejected",
+       &Counters::new_max_rejected},
+      {"host.duplicates_discarded", "Data receipts already held",
+       &Counters::duplicates_discarded},
+      {"host.data_forwarded", "Data messages forwarded down the tree",
+       &Counters::data_forwarded},
+      {"host.gapfills_sent", "Gap-fill data messages sent",
+       &Counters::gapfills_sent},
+      {"host.deliveries", "First receipts handed to the application",
+       &Counters::deliveries},
+      {"host.decode_errors", "Deliveries whose payload failed wire decoding",
+       &Counters::decode_errors},
+  };
+  for (const Field& f : kFields) {
+    registry.register_counter_fn(
+        f.name, labels, f.help, [this, m = f.member] { return counters_.*m; });
+    metrics_names_.emplace_back(f.name);
+  }
+  registry.register_gauge_fn(
+      "host.info_count", labels, "Sequences held in INFO_i",
+      [this] { return static_cast<double>(state_.info().count()); });
+  metrics_names_.emplace_back("host.info_count");
+  registry.register_gauge_fn(
+      "host.max_seq", labels, "Sequence watermark (MAX_i)",
+      [this] { return static_cast<double>(state_.info().max_seq()); });
+  metrics_names_.emplace_back("host.max_seq");
+  registry.register_gauge_fn(
+      "host.parent", labels, "Current parent host id (-1 = NIL)", [this] {
+        return static_cast<double>(parent().valid() ? parent().value : -1);
+      });
+  metrics_names_.emplace_back("host.parent");
+  registry.register_gauge_fn(
+      "host.cluster_size", labels, "Hosts currently in CLUSTER_i",
+      [this] { return static_cast<double>(state_.cluster().size()); });
+  metrics_names_.emplace_back("host.cluster_size");
 }
 
 void BroadcastHost::start() {

@@ -28,6 +28,7 @@
 #include "core/protocol_observer.h"
 #include "net/message.h"
 #include "transport/transport.h"
+#include "util/metrics_registry.h"
 #include "util/scheduler.h"
 #include "util/rng.h"
 
@@ -117,6 +118,14 @@ class BroadcastHost {
   // Installs a protocol-event observer (nullptr to remove).
   void set_observer(ProtocolObserver* observer) { observer_ = observer; }
 
+  // Registers this host's counters and attachment/watermark gauges into
+  // `registry` under the shared host.* names, labelled `labels` (e.g.
+  // "host=\"3\"" — must be unique per host within one registry). The
+  // registration is observation-only and is dropped automatically when
+  // the host is destroyed. At most one registry per host.
+  void register_metrics(util::MetricsRegistry& registry,
+                        const std::string& labels);
+
  private:
   // --- message handlers -----------------------------------------------
   void handle_data(HostId from, const DataMsg& m);
@@ -193,6 +202,11 @@ class BroadcastHost {
   std::map<HostId, std::map<Seq, util::TimePoint>> offered_;
 
   Counters counters_;
+
+  // Metric registration to undo on destruction (register_metrics).
+  util::MetricsRegistry* metrics_registry_{nullptr};
+  std::string metrics_labels_;
+  std::vector<std::string> metrics_names_;
 
   // Periodic tasks (declared last: they capture `this` and must die first).
   std::unique_ptr<util::PeriodicTask> attach_task_;

@@ -29,6 +29,7 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
       simulator_, *network_,
       transport::CoalescerConfig{options_.protocol.batch_flush_delay,
                                  options_.protocol.batch_max_bytes});
+  transport_->register_metrics(registry_);
   metrics_ = std::make_unique<trace::Metrics>(simulator_, *network_);
   metrics_->attach();
   events_ = std::make_unique<trace::EventLog>(simulator_);
@@ -183,6 +184,7 @@ void Experiment::enable_metric_sampling(sim::Duration period) {
   }
   sampler_ = std::make_unique<trace::MetricSampler>(
       simulator_, *metrics_, *sink_, period, std::move(shape_fn));
+  sampler_->set_registry(&registry_);
   install_observers();
   sampler_->start();
 }

@@ -130,6 +130,10 @@ class Experiment {
   [[nodiscard]] transport::SimTransport& transport() { return *transport_; }
   [[nodiscard]] net::FaultPlan& faults() { return *faults_; }
   [[nodiscard]] trace::Metrics& metrics() { return *metrics_; }
+  // The runtime metrics registry: the sim transport's coalescer stats are
+  // registered at construction, and enable_metric_sampling() folds its
+  // counters into the trace as "registry" records. Observation-only.
+  [[nodiscard]] util::MetricsRegistry& registry() { return registry_; }
   // Protocol event timeline (paper protocol only; empty for the baseline).
   [[nodiscard]] trace::EventLog& events() { return *events_; }
   // The online invariant monitor (nullptr unless monitor_invariants).
@@ -162,6 +166,9 @@ class Experiment {
   ScenarioOptions options_;
   util::RngFactory rngs_;
   sim::Simulator simulator_;
+  // Declared before the transport (which registers callbacks into it) so
+  // registrations never dangle while snapshots are possible.
+  util::MetricsRegistry registry_;
   std::unique_ptr<net::Network> network_;
   // Paper hosts run over the Transport seam (SimTransport is a pure
   // forwarding adapter, so the wiring change is digest-invisible);

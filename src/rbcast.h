@@ -44,9 +44,11 @@
 #include "sim/time.h"
 #include "topo/generators.h"
 #include "topo/topology.h"
+#include "trace/admin_server.h"
 #include "trace/convergence.h"
 #include "trace/dot_export.h"
 #include "trace/event_log.h"
+#include "trace/exposition.h"
 #include "trace/metric_sampler.h"
 #include "trace/metrics.h"
 #include "trace/net_tap.h"

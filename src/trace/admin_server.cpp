@@ -1,0 +1,292 @@
+#include "trace/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace rbcast::trace {
+
+namespace {
+
+// A request head larger than this is hostile or broken; drop it with 400
+// rather than buffering without bound.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+// Connections idle longer than this (no complete request, or a write the
+// peer never drains) are closed — a stuck scraper must not pin memory.
+constexpr util::Duration kIdleTimeout = util::seconds(5);
+
+// Write retry cadence when the socket buffer is full (localhost: rare).
+constexpr util::Duration kWriteRetryDelay = util::milliseconds(1);
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string encode_response(const AdminServer::Response& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " "
+     << reason_phrase(response.status) << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+AdminServer::Response plain(int status, const std::string& body) {
+  AdminServer::Response r;
+  r.status = status;
+  r.body = body;
+  return r;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(util::RealTimeScheduler& scheduler,
+                         std::uint16_t port)
+    : scheduler_(scheduler) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("admin: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0 || !set_nonblocking(listen_fd_)) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("admin: cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + error);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("admin: getsockname failed: " + error);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  scheduler_.watch_fd(listen_fd_, [this] { on_acceptable(); });
+}
+
+AdminServer::~AdminServer() {
+  while (!conns_.empty()) close_conn(conns_.begin()->first);
+  if (listen_fd_ >= 0) {
+    scheduler_.unwatch_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void AdminServer::handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void AdminServer::on_acceptable() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error: poll again
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    ++stats_.connections;
+    Conn& conn = conns_[fd];
+    arm_idle_timer(fd, conn);
+    scheduler_.watch_fd(fd, [this, fd] { on_readable(fd); });
+  }
+}
+
+void AdminServer::arm_idle_timer(int fd, Conn& conn) {
+  if (conn.idle_timer.valid()) scheduler_.cancel(conn.idle_timer);
+  conn.idle_timer = scheduler_.after(kIdleTimeout, [this, fd] {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    it->second.idle_timer = util::EventId{};
+    ++stats_.timeouts;
+    close_conn(fd);
+  });
+}
+
+void AdminServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second.idle_timer.valid()) scheduler_.cancel(it->second.idle_timer);
+  conns_.erase(it);
+  scheduler_.unwatch_fd(fd);
+  ::close(fd);
+}
+
+void AdminServer::on_readable(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  char buf[2048];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      // Bytes after the response started draining are ignored (we answer
+      // the first request only, HTTP/1.0-style), but must still be read so
+      // poll() does not spin on a readable fd.
+      if (!conn.responding) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > kMaxRequestBytes) {
+          ++stats_.bad_requests;
+          start_response(fd, conn, plain(400, "request too large\n"));
+          return;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed its half
+      if (!conn.responding) {
+        // EOF without a complete request head: try to parse what arrived
+        // (curl-less probes send bare "GET /path\n" lines), else drop.
+        process_request(fd, conn);
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained
+    close_conn(fd);  // hard error
+    return;
+  }
+
+  if (!conn.responding && conn.in.find("\r\n\r\n") != std::string::npos) {
+    process_request(fd, conn);
+  }
+}
+
+void AdminServer::process_request(int fd, Conn& conn) {
+  // Request line: METHOD SP PATH [SP VERSION]. Everything else in the head
+  // is ignored — no header has any effect on this server.
+  const std::size_t eol = conn.in.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? conn.in : conn.in.substr(0, eol);
+
+  const std::size_t method_end = line.find(' ');
+  if (line.empty() || method_end == std::string::npos) {
+    ++stats_.bad_requests;
+    if (line.empty()) {
+      close_conn(fd);  // EOF before any bytes: nothing to answer
+      return;
+    }
+    start_response(fd, conn, plain(400, "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, method_end);
+  std::size_t path_end = line.find(' ', method_end + 1);
+  if (path_end == std::string::npos) path_end = line.size();
+  std::string path = line.substr(method_end + 1, path_end - method_end - 1);
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+
+  if (method != "GET") {
+    ++stats_.bad_requests;
+    start_response(fd, conn, plain(405, "only GET is supported\n"));
+    return;
+  }
+  if (path.empty() || path[0] != '/') {
+    ++stats_.bad_requests;
+    start_response(fd, conn, plain(400, "malformed path\n"));
+    return;
+  }
+
+  const auto handler = handlers_.find(path);
+  if (handler == handlers_.end()) {
+    ++stats_.not_found;
+    std::string known = "not found; paths:";
+    for (const auto& [p, h] : handlers_) known += " " + p;
+    start_response(fd, conn, plain(404, known + "\n"));
+    return;
+  }
+
+  ++stats_.requests;
+  try {
+    start_response(fd, conn, handler->second());
+  } catch (const std::exception& e) {
+    ++stats_.handler_errors;
+    start_response(fd, conn,
+                   plain(500, std::string("handler failed: ") + e.what() +
+                                  "\n"));
+  } catch (...) {
+    ++stats_.handler_errors;
+    start_response(fd, conn, plain(500, "handler failed\n"));
+  }
+}
+
+void AdminServer::start_response(int fd, Conn& conn,
+                                 const Response& response) {
+  conn.responding = true;
+  conn.out = encode_response(response);
+  conn.written = 0;
+  arm_idle_timer(fd, conn);  // the drain gets a fresh deadline
+  continue_write(fd);
+}
+
+void AdminServer::continue_write(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (conn.written < conn.out.size()) {
+    const ssize_t n = ::write(fd, conn.out.data() + conn.written,
+                              conn.out.size() - conn.written);
+    if (n > 0) {
+      conn.written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: retry on a short timer instead of teaching the
+      // scheduler POLLOUT — admin responses are small and localhost-fast.
+      scheduler_.after(kWriteRetryDelay, [this, fd] { continue_write(fd); });
+      return;
+    }
+    close_conn(fd);  // peer vanished mid-response
+    return;
+  }
+  close_conn(fd);  // fully written: Connection: close semantics
+}
+
+}  // namespace rbcast::trace

@@ -1,0 +1,79 @@
+// Exposition — rendering util::MetricsRegistry snapshots for consumers
+// outside the process.
+//
+// Two formats, one naming contract (DESIGN.md §14):
+//
+//  * Prometheus text exposition (write_prometheus): dotted registry names
+//    become `rbcast_<name with dots as underscores>`, HELP/TYPE lines are
+//    emitted once per family, histograms render the standard
+//    _bucket{le="..."} / _sum / _count triple with bucket bounds exactly
+//    matching util::Histogram::upper_bounds() plus the implicit +Inf;
+//  * a JSON status document (StatusDoc): the machine-readable snapshot the
+//    node admin endpoint serves at /status and rbcast_top aggregates
+//    across a fleet — host attachment state, seq watermarks, transport
+//    health, and the full metrics snapshot, round-trippable through
+//    util::parse_json.
+//
+// Everything here is pure formatting over a snapshot: no sockets, no
+// clocks, no protocol types — which is what makes the admin plane
+// observation-only by construction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/metrics_registry.h"
+
+namespace rbcast::trace {
+
+// "transport.datagrams_sent" -> "rbcast_transport_datagrams_sent": every
+// character outside [a-zA-Z0-9_] becomes '_', and the rbcast_ prefix is
+// added unless already present.
+[[nodiscard]] std::string prometheus_name(const std::string& dotted);
+
+// Prometheus text exposition format (version 0.0.4) of a full snapshot.
+void write_prometheus(std::ostream& os,
+                      const std::vector<util::MetricSnapshot>& snapshot);
+
+// The same snapshot as a JSON array (member order fixed, byte-stable).
+void write_metrics_json(std::ostream& os,
+                        const std::vector<util::MetricSnapshot>& snapshot);
+
+// --- /status ---------------------------------------------------------------
+
+// One protocol host as the admin endpoint reports it.
+struct HostStatus {
+  std::int64_t id{-1};
+  bool source{false};
+  std::int64_t parent{-1};  // -1 = no parent (NIL)
+  bool orphan{false};       // non-source host with no parent
+  bool leader{false};       // parent is NIL or outside CLUSTER_i
+  std::uint64_t info_count{0};   // sequences held
+  std::int64_t max_seq{0};       // seq watermark
+  std::uint64_t deliveries{0};   // first receipts handed to the app
+  std::uint64_t decode_errors{0};
+  std::vector<std::int64_t> cluster;  // CLUSTER_i view, sorted
+};
+
+// The whole /status document. `now_s` is wall-clock seconds since the
+// node's scheduler epoch — never part of any digest.
+struct StatusDoc {
+  double now_s{0};
+  bool ready{false};  // what /healthz keys on: locally converged
+  std::int64_t source{-1};
+  std::int64_t messages_expected{0};
+  std::int64_t messages_sent{0};
+  std::vector<HostStatus> hosts;
+  std::vector<util::MetricSnapshot> metrics;
+};
+
+void write_status_json(std::ostream& os, const StatusDoc& doc);
+[[nodiscard]] std::string status_json(const StatusDoc& doc);
+
+// Parses a /status document (rbcast_top's input). Throws
+// std::invalid_argument on malformed JSON or schema violations.
+[[nodiscard]] StatusDoc parse_status_json(const std::string& text);
+
+}  // namespace rbcast::trace

@@ -8,14 +8,7 @@ namespace rbcast::trace {
 
 namespace {
 
-// Delivery-latency bucket bounds in seconds. Spans everything the
-// reproduction's scenarios produce, from same-cluster sub-10ms deliveries
-// to partition-healing gap fills; above 60s only the +inf bucket counts.
-std::vector<double> latency_bounds() {
-  return {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
-}
-
-// Stable field key for a bucket bound: "le_0.01" .. "le_60" (trailing
+// Stable field key for a bucket bound: "le_0.001" .. "le_60" (trailing
 // zeros trimmed so keys read naturally).
 std::string bucket_key(double bound) {
   std::ostringstream os;
@@ -25,18 +18,22 @@ std::string bucket_key(double bound) {
 
 }  // namespace
 
-MetricSampler::MetricSampler(sim::Simulator& simulator, Metrics& metrics,
-                             TraceSink& sink, sim::Duration period,
+std::vector<double> MetricSampler::latency_bounds() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
+}
+
+MetricSampler::MetricSampler(util::Scheduler& scheduler, Metrics& metrics,
+                             TraceSink& sink, util::Duration period,
                              TreeShapeFn tree_shape)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       metrics_(metrics),
       sink_(sink),
       period_(period),
       tree_shape_(std::move(tree_shape)),
       latency_histogram_(latency_bounds()) {
   RBCAST_CHECK_ARG(period > 0, "sample period must be positive");
-  task_ = std::make_unique<sim::PeriodicTask>(simulator_, period_,
-                                              [this] { sample_now(); });
+  task_ = std::make_unique<util::PeriodicTask>(scheduler_, period_,
+                                               [this] { sample_now(); });
 }
 
 MetricSampler::~MetricSampler() = default;
@@ -50,17 +47,23 @@ void MetricSampler::on_queue_backlog(ServerId server, LinkId /*link*/,
   latest_backlog_[server] = backlog;
 }
 
+void MetricSampler::set_registry(const util::MetricsRegistry* registry) {
+  registry_ = registry;
+  last_registry_counters_.clear();
+}
+
 void MetricSampler::sample_now() {
   ++samples_;
   emit_counters();
   emit_backlog();
   emit_latency();
   emit_tree();
+  emit_registry();
 }
 
 void MetricSampler::emit_counters() {
   TraceRecord r;
-  r.at = simulator_.now();
+  r.at = scheduler_.now();
   r.category = "metric";
   r.name = "counters";
   for (const auto& [name, value] : metrics_.counters().all()) {
@@ -76,7 +79,7 @@ void MetricSampler::emit_counters() {
 void MetricSampler::emit_backlog() {
   if (latest_backlog_.empty()) return;
   TraceRecord r;
-  r.at = simulator_.now();
+  r.at = scheduler_.now();
   r.category = "metric";
   r.name = "backlog";
   for (const auto& [server, backlog] : latest_backlog_) {
@@ -95,7 +98,7 @@ void MetricSampler::emit_latency() {
   for (double v : latencies.values()) latency_histogram_.add(v);
 
   TraceRecord r;
-  r.at = simulator_.now();
+  r.at = scheduler_.now();
   r.category = "metric";
   r.name = "latency";
   r.field("count", std::uint64_t{latencies.count()})
@@ -116,12 +119,29 @@ void MetricSampler::emit_tree() {
   if (!tree_shape_) return;
   const TreeShape shape = tree_shape_();
   TraceRecord r;
-  r.at = simulator_.now();
+  r.at = scheduler_.now();
   r.category = "metric";
   r.name = "tree";
   r.field("depth", std::int64_t{shape.depth})
       .field("leaders", std::int64_t{shape.leaders})
       .field("orphans", std::int64_t{shape.orphans});
+  sink_.record(r);
+}
+
+void MetricSampler::emit_registry() {
+  if (registry_ == nullptr) return;
+  TraceRecord r;
+  r.at = scheduler_.now();
+  r.category = "metric";
+  r.name = "registry";
+  // Counters as per-interval deltas (same convention as "counters"),
+  // summed across label sets; only counters that moved become fields.
+  for (const auto& [name, value] : registry_->counter_totals()) {
+    const std::uint64_t before = last_registry_counters_[name];
+    if (value != before) r.field(name, value - before);
+    last_registry_counters_[name] = value;
+  }
+  if (r.fields.empty()) return;  // "counters" already marks quiet intervals
   sink_.record(r);
 }
 

@@ -13,10 +13,16 @@
 //    p50/p95/p99 (exact, from trace::Metrics samples) plus cumulative
 //    util::Histogram bucket counts (le_<bound> fields);
 //  * "tree"      — protocol tree shape (depth, cluster-leader count,
-//    orphan count) when a TreeShapeFn is supplied (paper protocol only).
+//    orphan count) when a TreeShapeFn is supplied (paper protocol only);
+//  * "registry"  — counter deltas and gauge values from an attached
+//    util::MetricsRegistry (set_registry), which is how transport-level
+//    stats (coalescer flushes, decode errors...) reach the time series
+//    without the sampler knowing any backend type.
 //
-// Deterministic by construction: samples fire on the virtual clock and
-// read only simulation state.
+// Deterministic by construction: the sampler runs on whatever
+// util::Scheduler drives the system — the virtual clock in simulations
+// (where samples read only simulation state and replay byte-identically)
+// or util::RealTimeScheduler in a live node.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +30,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/message.h"
-#include "sim/simulator.h"
 #include "trace/metrics.h"
 #include "trace/trace_sink.h"
+#include "util/metrics_registry.h"
+#include "util/scheduler.h"
 #include "util/stats.h"
 
 namespace rbcast::trace {
@@ -42,9 +50,17 @@ class MetricSampler final : public net::NetObserver {
   };
   using TreeShapeFn = std::function<TreeShape()>;
 
-  // `metrics` and `sink` are borrowed and must outlive the sampler.
-  MetricSampler(sim::Simulator& simulator, Metrics& metrics, TraceSink& sink,
-                sim::Duration period, TreeShapeFn tree_shape = {});
+  // THE delivery-latency bucket bounds, in seconds — the schema shared by
+  // the sampler's le_* fields, the registry histograms rbcast_node
+  // exposes, and the Prometheus exposition (DESIGN.md §14). Spans
+  // sub-millisecond localhost deliveries through partition-healing gap
+  // fills; above 60s only the +inf bucket counts.
+  [[nodiscard]] static std::vector<double> latency_bounds();
+
+  // `metrics` and `sink` are borrowed and must outlive the sampler; any
+  // util::Scheduler works (sim::Simulator or util::RealTimeScheduler).
+  MetricSampler(util::Scheduler& scheduler, Metrics& metrics, TraceSink& sink,
+                util::Duration period, TreeShapeFn tree_shape = {});
   ~MetricSampler();
 
   MetricSampler(const MetricSampler&) = delete;
@@ -58,6 +74,11 @@ class MetricSampler final : public net::NetObserver {
   // the series always covers the full run).
   void sample_now();
 
+  // Attaches (or detaches, with nullptr) a registry whose counters and
+  // gauges are folded into each sample as a "registry" record. Borrowed;
+  // must outlive the sampler or be detached first.
+  void set_registry(const util::MetricsRegistry* registry);
+
   [[nodiscard]] sim::Duration period() const { return period_; }
   [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
 
@@ -70,21 +91,24 @@ class MetricSampler final : public net::NetObserver {
   void emit_backlog();
   void emit_latency();
   void emit_tree();
+  void emit_registry();
 
-  sim::Simulator& simulator_;
+  util::Scheduler& scheduler_;
   Metrics& metrics_;
   TraceSink& sink_;
   sim::Duration period_;
   TreeShapeFn tree_shape_;
+  const util::MetricsRegistry* registry_{nullptr};
 
   // Ordered: sample emission iterates these and field order must be
   // stable across runs (byte-identical trace replay).
   std::map<std::string, std::uint64_t> last_counters_;
+  std::map<std::string, std::uint64_t> last_registry_counters_;
   std::map<ServerId, sim::Duration> latest_backlog_;
   util::Histogram latency_histogram_;
   std::uint64_t samples_{0};
 
-  std::unique_ptr<sim::PeriodicTask> task_;
+  std::unique_ptr<util::PeriodicTask> task_;
 };
 
 }  // namespace rbcast::trace

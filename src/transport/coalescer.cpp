@@ -85,4 +85,32 @@ void Coalescer::do_flush(Queue& q, HostId to) {
   flush_(to, std::move(items));
 }
 
+void register_coalescer_metrics(util::MetricsRegistry& registry,
+                                std::function<Coalescer::Stats()> stats_fn,
+                                std::function<std::size_t()> pending_fn) {
+  registry.register_counter_fn(
+      "transport.coalescer.frames_enqueued", "",
+      "Frames queued for outbound batching",
+      [stats_fn] { return stats_fn().frames_enqueued; });
+  registry.register_counter_fn(
+      "transport.coalescer.batches_flushed", "",
+      "Batch datagrams materialised (size, deadline and shutdown flushes)",
+      [stats_fn] { return stats_fn().batches_flushed; });
+  registry.register_counter_fn(
+      "transport.coalescer.size_flushes", "",
+      "Flushes forced by the datagram byte budget",
+      [stats_fn] { return stats_fn().size_flushes; });
+  registry.register_counter_fn(
+      "transport.coalescer.deadline_flushes", "",
+      "Flushes forced by the flush-delay deadline",
+      [stats_fn] { return stats_fn().deadline_flushes; });
+  if (pending_fn) {
+    registry.register_gauge_fn(
+        "transport.coalescer.pending_frames", "",
+        "Frames currently queued awaiting a flush", [pending_fn] {
+          return static_cast<double>(pending_fn());
+        });
+  }
+}
+
 }  // namespace rbcast::transport

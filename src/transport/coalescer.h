@@ -28,6 +28,7 @@
 
 #include "net/message.h"
 #include "util/ids.h"
+#include "util/metrics_registry.h"
 #include "util/scheduler.h"
 
 namespace rbcast::transport {
@@ -100,5 +101,15 @@ class Coalescer {
   std::map<HostId::value_type, Queue> queues_;
   Stats stats_;
 };
+
+// Registers the standard transport.coalescer.* series over snapshot
+// callbacks. Both backends call this with their own aggregation, so a sim
+// run and a real node expose identical coalescer metric names
+// (DESIGN.md §14). `stats_fn` must stay callable for the registry's
+// lifetime (or until the names are unregistered); `pending_fn` may be
+// empty to skip the queue-depth gauge.
+void register_coalescer_metrics(util::MetricsRegistry& registry,
+                                std::function<Coalescer::Stats()> stats_fn,
+                                std::function<std::size_t()> pending_fn = {});
 
 }  // namespace rbcast::transport

@@ -40,6 +40,10 @@ class SimTransport::BatchingEndpoint final : public net::HostEndpoint {
     return coalescer_.stats();
   }
 
+  [[nodiscard]] std::size_t pending_frames() const {
+    return coalescer_.pending_frames();
+  }
+
  private:
   void flush(HostId to, std::vector<Coalescer::Item> items) {
     // A batch of one still amortizes nothing but must stay a well-formed
@@ -124,6 +128,18 @@ Coalescer::Stats SimTransport::coalescer_stats() const {
     total.deadline_flushes += s.deadline_flushes;
   }
   return total;
+}
+
+std::size_t SimTransport::coalescer_pending_frames() const {
+  std::size_t n = 0;
+  for (const auto& [host, ep] : endpoints_) n += ep->pending_frames();
+  return n;
+}
+
+void SimTransport::register_metrics(util::MetricsRegistry& registry) {
+  register_coalescer_metrics(
+      registry, [this] { return coalescer_stats(); },
+      [this] { return coalescer_pending_frames(); });
 }
 
 }  // namespace rbcast::transport

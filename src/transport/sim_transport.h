@@ -59,6 +59,16 @@ class SimTransport final : public Transport {
   // batching is off).
   [[nodiscard]] Coalescer::Stats coalescer_stats() const;
 
+  // Frames currently queued across all hosts' coalescers (0 when batching
+  // is off).
+  [[nodiscard]] std::size_t coalescer_pending_frames() const;
+
+  // Registers the shared transport.coalescer.* series (same names as
+  // UdpTransport::register_metrics) so sim traces carry wire-transport
+  // stats through MetricSampler's "registry" record. Reading a snapshot
+  // touches only deterministic simulation state.
+  void register_metrics(util::MetricsRegistry& registry);
+
  private:
   class BatchingEndpoint;
 

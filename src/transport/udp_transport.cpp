@@ -374,4 +374,54 @@ Coalescer::Stats UdpTransport::coalescer_stats() const {
   return total;
 }
 
+std::size_t UdpTransport::coalescer_pending_frames() const {
+  std::size_t n = 0;
+  for (const auto& [host, binding] : bindings_) {
+    if (binding->coalescer != nullptr) n += binding->coalescer->pending_frames();
+  }
+  return n;
+}
+
+void UdpTransport::register_metrics(util::MetricsRegistry& registry) {
+  struct Field {
+    const char* name;
+    const char* help;
+    std::uint64_t Stats::* member;
+  };
+  // Dotted names here and the coalescer's are THE wire-transport metric
+  // schema (DESIGN.md §14): /metrics exposes them via prometheus_name()
+  // and sim traces carry them through MetricSampler's "registry" record.
+  static constexpr Field kFields[] = {
+      {"transport.datagrams_sent", "UDP datagrams sent",
+       &Stats::datagrams_sent},
+      {"transport.datagrams_received", "UDP datagrams received",
+       &Stats::datagrams_received},
+      {"transport.frame_decode_errors",
+       "Datagrams dropped: garbage, truncation or bad container version",
+       &Stats::frame_decode_errors},
+      {"transport.payload_decode_errors",
+       "Frames whose payload the codec rejected",
+       &Stats::payload_decode_errors},
+      {"transport.misdirected", "Frames addressed to a different host",
+       &Stats::misdirected},
+      {"transport.send_errors", "sendto failures and unknown peers",
+       &Stats::send_errors},
+      {"transport.recv_errors", "Hard recvfrom errors",
+       &Stats::recv_errors},
+      {"transport.impair_drops", "Frames dropped by the impairment shim",
+       &Stats::impair_drops},
+      {"transport.impair_duplicates",
+       "Frames duplicated by the impairment shim", &Stats::impair_duplicates},
+      {"transport.impair_delays", "Frames delayed by the impairment shim",
+       &Stats::impair_delays},
+  };
+  for (const Field& f : kFields) {
+    registry.register_counter_fn(f.name, "", f.help,
+                                 [this, m = f.member] { return stats_.*m; });
+  }
+  register_coalescer_metrics(
+      registry, [this] { return coalescer_stats(); },
+      [this] { return coalescer_pending_frames(); });
+}
+
 }  // namespace rbcast::transport

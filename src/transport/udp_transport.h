@@ -36,6 +36,7 @@
 #include "transport/wire.h"
 #include "transport/transport.h"
 #include "util/ids.h"
+#include "util/metrics_registry.h"
 #include "util/real_time_scheduler.h"
 
 namespace rbcast::transport {
@@ -110,6 +111,15 @@ class UdpTransport final : public Transport {
   // Aggregate coalescer stats over attached hosts (zeros when batching is
   // off).
   [[nodiscard]] Coalescer::Stats coalescer_stats() const;
+
+  // Frames currently queued across all hosts' coalescers (0 when batching
+  // is off) — the admin plane's queue-depth gauge.
+  [[nodiscard]] std::size_t coalescer_pending_frames() const;
+
+  // Registers every Stats field plus the shared transport.coalescer.*
+  // series into `registry` as callback-backed instruments. The transport
+  // must outlive any snapshot taken from `registry`.
+  void register_metrics(util::MetricsRegistry& registry);
 
   // Test seam for the receive loop: replaces ::recvfrom so regression
   // tests can inject EINTR, EAGAIN and hard errno values. The callable

@@ -1,0 +1,119 @@
+#include "util/metrics_registry.h"
+
+#include <stdexcept>
+
+namespace rbcast::util {
+
+MetricsRegistry::Instrument& MetricsRegistry::emplace(
+    const std::string& name, const std::string& labels,
+    const std::string& help, MetricSnapshot::Kind kind) {
+  if (name.empty()) {
+    throw std::invalid_argument("metric name must not be empty");
+  }
+  auto [it, inserted] = instruments_.try_emplace(Key{name, labels});
+  if (!inserted) {
+    throw std::invalid_argument("metric already registered: " + name +
+                                (labels.empty() ? "" : "{" + labels + "}"));
+  }
+  it->second.kind = kind;
+  it->second.help = help;
+  return it->second;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name,
+                                                   const std::string& labels,
+                                                   const std::string& help) {
+  Instrument& i = emplace(name, labels, help, MetricSnapshot::Kind::kCounter);
+  i.owned_counter = std::make_unique<Counter>();
+  return *i.owned_counter;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  Instrument& i =
+      emplace(name, labels, help, MetricSnapshot::Kind::kHistogram);
+  i.owned_histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *i.owned_histogram;
+}
+
+void MetricsRegistry::register_counter_fn(const std::string& name,
+                                          const std::string& labels,
+                                          const std::string& help,
+                                          CounterFn fn) {
+  if (fn == nullptr) throw std::invalid_argument("counter fn must be set");
+  emplace(name, labels, help, MetricSnapshot::Kind::kCounter).counter_fn =
+      std::move(fn);
+}
+
+void MetricsRegistry::register_gauge_fn(const std::string& name,
+                                        const std::string& labels,
+                                        const std::string& help, GaugeFn fn) {
+  if (fn == nullptr) throw std::invalid_argument("gauge fn must be set");
+  emplace(name, labels, help, MetricSnapshot::Kind::kGauge).gauge_fn =
+      std::move(fn);
+}
+
+void MetricsRegistry::register_histogram_fn(const std::string& name,
+                                            const std::string& labels,
+                                            const std::string& help,
+                                            HistogramFn fn) {
+  if (fn == nullptr) throw std::invalid_argument("histogram fn must be set");
+  emplace(name, labels, help, MetricSnapshot::Kind::kHistogram).histogram_fn =
+      std::move(fn);
+}
+
+void MetricsRegistry::unregister(const std::string& name,
+                                 const std::string& labels) {
+  instruments_.erase(Key{name, labels});
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(instruments_.size());
+  for (const auto& [key, instrument] : instruments_) {
+    MetricSnapshot s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.help = instrument.help;
+    s.kind = instrument.kind;
+    switch (instrument.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.counter = instrument.owned_counter != nullptr
+                        ? instrument.owned_counter->value()
+                        : instrument.counter_fn();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.gauge = instrument.gauge_fn();
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const Histogram* h = instrument.owned_histogram != nullptr
+                                 ? instrument.owned_histogram.get()
+                                 : instrument.histogram_fn();
+        if (h != nullptr) {
+          s.bounds = h->upper_bounds();
+          s.cumulative = h->cumulative_counts();
+          s.count = h->count();
+          s.sum = h->sum();
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_totals() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, instrument] : instruments_) {
+    if (instrument.kind != MetricSnapshot::Kind::kCounter) continue;
+    out[key.first] += instrument.owned_counter != nullptr
+                          ? instrument.owned_counter->value()
+                          : instrument.counter_fn();
+  }
+  return out;
+}
+
+}  // namespace rbcast::util

@@ -148,7 +148,7 @@ TEST_F(MetricSamplerRunTest, LatencySamplesCarryMonotoneCumulativeBuckets) {
     EXPECT_LE(c, field_double(last, "count")) << key;
     prev = c;
   }
-  EXPECT_EQ(buckets, 8u);
+  EXPECT_EQ(buckets, trace::MetricSampler::latency_bounds().size());
 
   // The series is cumulative over the run, so counts never shrink.
   std::uint64_t prev_count = 0;

@@ -1,0 +1,126 @@
+// MetricsRegistry: owned and callback instruments, ordered snapshots,
+// duplicate rejection, unregistration, and the counter_totals() view the
+// MetricSampler folds into traces.
+#include "util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rbcast::util {
+namespace {
+
+TEST(MetricsRegistry, OwnedCounterRoundTrips) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& c =
+      registry.counter("node.broadcasts", "", "messages originated");
+  c.inc();
+  c.inc(4);
+  const std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "node.broadcasts");
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snap[0].counter, 5u);
+  EXPECT_EQ(snap[0].help, "messages originated");
+}
+
+TEST(MetricsRegistry, OwnedHistogramSnapshotsBoundsAndCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {0.1, 1.0}, "", "latency");
+  h.add(0.05);
+  h.add(0.5);
+  h.add(5.0);  // above the last bound: only in count
+  const std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snap[0].bounds, (std::vector<double>{0.1, 1.0}));
+  EXPECT_EQ(snap[0].cumulative, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(snap[0].count, 3u);
+  EXPECT_DOUBLE_EQ(snap[0].sum, 5.55);
+}
+
+TEST(MetricsRegistry, CallbackInstrumentsReadLiveState) {
+  MetricsRegistry registry;
+  std::uint64_t sends = 0;
+  double depth = 0;
+  registry.register_counter_fn("t.sends", "", "", [&] { return sends; });
+  registry.register_gauge_fn("t.depth", "", "", [&] { return depth; });
+  sends = 7;
+  depth = 2.5;
+  const std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "t.depth");
+  EXPECT_DOUBLE_EQ(snap[0].gauge, 2.5);
+  EXPECT_EQ(snap[1].name, "t.sends");
+  EXPECT_EQ(snap[1].counter, 7u);
+}
+
+TEST(MetricsRegistry, HistogramFnToleratesNullSource) {
+  MetricsRegistry registry;
+  const Histogram* source = nullptr;
+  registry.register_histogram_fn("h", "", "", [&] { return source; });
+  std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 0u);  // gone source reads as empty
+  Histogram live({1.0});
+  live.add(0.5);
+  source = &live;
+  snap = registry.snapshot();
+  EXPECT_EQ(snap[0].count, 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsOrderedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.counter("b.metric", "host=\"2\"");
+  registry.counter("a.metric");
+  registry.counter("b.metric", "host=\"10\"");
+  const std::vector<MetricSnapshot> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.metric");
+  // Lexicographic within a name: stable, if not numeric, ordering.
+  EXPECT_EQ(snap[1].labels, "host=\"10\"");
+  EXPECT_EQ(snap[2].labels, "host=\"2\"");
+}
+
+TEST(MetricsRegistry, DuplicateRegistrationThrows) {
+  MetricsRegistry registry;
+  registry.counter("x", "host=\"1\"");
+  EXPECT_THROW(registry.counter("x", "host=\"1\""), std::invalid_argument);
+  // Same name, different labels: a distinct series, fine.
+  registry.counter("x", "host=\"2\"");
+  EXPECT_THROW(registry.register_gauge_fn("x", "host=\"2\"", "",
+                                          [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, UnregisterDropsExactlyTheKey) {
+  MetricsRegistry registry;
+  registry.counter("x", "host=\"1\"");
+  registry.counter("x", "host=\"2\"");
+  registry.unregister("x", "host=\"1\"");
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.snapshot()[0].labels, "host=\"2\"");
+  registry.unregister("x", "host=\"1\"");  // absent: no-op
+  EXPECT_EQ(registry.size(), 1u);
+  // The freed key can be re-registered (host restart).
+  registry.counter("x", "host=\"1\"");
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, CounterTotalsSumAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.counter("host.deliveries", "host=\"0\"").inc(3);
+  registry.counter("host.deliveries", "host=\"1\"").inc(4);
+  registry.register_counter_fn("t.sends", "", "", [] { return 9ull; });
+  registry.register_gauge_fn("g", "", "", [] { return 1.0; });
+  const auto totals = registry.counter_totals();
+  ASSERT_EQ(totals.size(), 2u);  // gauges and histograms excluded
+  EXPECT_EQ(totals.at("host.deliveries"), 7u);
+  EXPECT_EQ(totals.at("t.sends"), 9u);
+}
+
+}  // namespace
+}  // namespace rbcast::util

@@ -11,7 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "sim/simulator.h"
+#include "topo/generators.h"
+#include "trace/metric_sampler.h"
+#include "trace/metrics.h"
+#include "trace/trace_sink.h"
+#include "util/metrics_registry.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
 
@@ -85,6 +91,64 @@ TEST(RealTimeScheduler, WatchedFdCallbackFiresOnReadable) {
   rt.unwatch_fd(fds[0]);
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+// --- generalized MetricSampler (satellite of the telemetry plane) -----------
+
+TEST(RealTimeScheduler, DrivesMetricSamplerOnTheWallClock) {
+  // The sampler takes any util::Scheduler; under RealTimeScheduler it must
+  // pace samples on wall time and fold registry counters exactly as it
+  // does under the simulator. The sim::Simulator below is only the data
+  // source's clock (never run): virtual time stays 0 while samples fire.
+  sim::Simulator data_clock;
+  topo::ClusteredWanOptions wan;
+  wan.clusters = 1;
+  wan.hosts_per_cluster = 2;
+  topo::Topology topology = topo::make_clustered_wan(wan).topology;
+  RngFactory rngs(1);
+  net::Network network(data_clock, topology, net::NetConfig{}, rngs);
+  trace::Metrics metrics(data_clock, network);
+
+  class CollectingSink final : public trace::TraceSink {
+   public:
+    void record(const trace::TraceRecord& r) override {
+      records.push_back(r);
+    }
+    std::vector<trace::TraceRecord> records;
+  };
+  CollectingSink sink;
+
+  RealTimeScheduler rt;
+  trace::MetricSampler sampler(rt, metrics, sink, milliseconds(20));
+  MetricsRegistry registry;
+  std::uint64_t flushes = 0;
+  registry.register_counter_fn("transport.coalescer.batches_flushed", "", "",
+                               [&] { return flushes; });
+  sampler.set_registry(&registry);
+
+  flushes = 3;
+  sampler.start();
+  rt.run_for(milliseconds(90));
+  sampler.stop();
+
+  EXPECT_GE(sampler.samples_taken(), 2u);
+  std::vector<trace::TraceRecord> registry_records;
+  TimePoint last_at = 0;
+  for (const trace::TraceRecord& r : sink.records) {
+    EXPECT_EQ(r.category, "metric");
+    EXPECT_GE(r.at, last_at);  // stamped on the wall clock, monotone
+    last_at = r.at;
+    if (r.name == "registry") registry_records.push_back(r);
+  }
+  EXPECT_GT(last_at, 0);  // wall time, not the untouched virtual clock
+  // The counter moved before the first sample and never again: exactly
+  // one registry record, carrying the full delta.
+  ASSERT_EQ(registry_records.size(), 1u);
+  ASSERT_EQ(registry_records[0].fields.size(), 1u);
+  EXPECT_EQ(registry_records[0].fields[0].first,
+            "transport.coalescer.batches_flushed");
+  EXPECT_EQ(std::get<std::uint64_t>(registry_records[0].fields[0].second),
+            3u);
 }
 
 // --- the shared phase-jitter policy -----------------------------------------

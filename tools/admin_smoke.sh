@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Admin-plane smoke: drives a lingering rbcast_node through its
+# observation endpoints while the run is live.
+#
+#   1. start the node in the background with --admin-port 0 (ephemeral)
+#      and a linger window, resolve the bound port via --admin-port-file;
+#   2. /healthz must answer 503 "not ready" BEFORE convergence (the
+#      source needs messages x interval wall seconds, so an immediate
+#      probe is reliably early) and flip to 200 "ok" at convergence;
+#   3. /metrics must parse as Prometheus text and expose every host's
+#      labelled series plus the transport counters;
+#   4. rbcast_top --once --json must report the whole fleet converged
+#      (the JSON snapshot is left in $WORK_DIR/fleet.json for CI upload);
+#   5. a deliberately malformed request must not take the node down;
+#   6. GET /quit ends the linger; the node must still exit 0 (converged).
+#
+# usage: admin_smoke.sh NODE_BIN TOP_BIN CONFIG WORK_DIR TRACE_OUT
+set -u
+
+NODE_BIN=$1
+TOP_BIN=$2
+CONFIG=$3
+WORK_DIR=$4
+TRACE_OUT=$5
+
+PORT_FILE="$WORK_DIR/admin_port"
+FLEET_JSON="$WORK_DIR/fleet.json"
+NODE_LOG="$WORK_DIR/node_admin.log"
+rm -f "$PORT_FILE" "$FLEET_JSON"
+
+fail() {
+  echo "admin smoke FAILED: $*" >&2
+  [ -n "${NODE_PID:-}" ] && kill "$NODE_PID" 2>/dev/null
+  exit 1
+}
+
+# GET helper: body to stdout, "HTTPSTATUS:<code>" on the last line.
+http_get() {
+  curl -s -m 5 -w '\nHTTPSTATUS:%{http_code}' "http://127.0.0.1:$PORT$1"
+}
+
+"$NODE_BIN" --config "$CONFIG" --all-hosts --trace-out "$TRACE_OUT" \
+  --admin-port 0 --admin-port-file "$PORT_FILE" --linger-s 30 \
+  >"$NODE_LOG" 2>&1 &
+NODE_PID=$!
+
+# The port file appears as soon as the admin socket is bound (well before
+# the workload can converge: messages x interval is the floor).
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$NODE_PID" 2>/dev/null || fail "node died early: $(cat "$NODE_LOG")"
+  sleep 0.05
+done
+[ -s "$PORT_FILE" ] || fail "admin port file never appeared"
+PORT=$(cat "$PORT_FILE")
+
+# --- 2a: readiness must be DOWN before convergence ---------------------------
+early=$(http_get /healthz)
+case "$early" in
+  *"HTTPSTATUS:503"*) ;;
+  *) fail "/healthz answered '$early' before convergence (want 503)" ;;
+esac
+
+# --- 2b: ...and must flip to ready at convergence ----------------------------
+ready=""
+for _ in $(seq 1 300); do
+  out=$(http_get /healthz)
+  case "$out" in
+    *"HTTPSTATUS:200"*) ready=yes; break ;;
+  esac
+  kill -0 "$NODE_PID" 2>/dev/null || fail "node died while waiting: $(cat "$NODE_LOG")"
+  sleep 0.1
+done
+[ -n "$ready" ] || fail "/healthz never became ready"
+
+# --- 3: /metrics exposes the full schema -------------------------------------
+metrics=$(http_get /metrics)
+case "$metrics" in
+  *"HTTPSTATUS:200"*) ;;
+  *) fail "/metrics scrape failed" ;;
+esac
+# Keep the scrape (minus the status trailer) as a CI artifact.
+printf '%s\n' "$metrics" | sed '$d' >"$WORK_DIR/metrics.prom"
+for want in \
+  "# TYPE rbcast_host_deliveries counter" \
+  "# TYPE rbcast_delivery_latency_seconds histogram" \
+  "rbcast_delivery_latency_seconds_bucket{le=\"+Inf\"}" \
+  "# TYPE rbcast_transport_datagrams_sent counter" \
+  "rbcast_transport_coalescer_frames_enqueued"; do
+  case "$metrics" in
+    *"$want"*) ;;
+    *) fail "/metrics is missing '$want'" ;;
+  esac
+done
+# Every host in the config must have a labelled series.
+hosts=$(grep -c '"id"' "$CONFIG")
+h=0
+while [ "$h" -lt "$hosts" ]; do
+  case "$metrics" in
+    *"host=\"$h\""*) ;;
+    *) fail "/metrics has no series for host $h" ;;
+  esac
+  h=$((h + 1))
+done
+
+# --- 4: rbcast_top sees the fleet converged ----------------------------------
+"$TOP_BIN" --once --json "127.0.0.1:$PORT" >"$FLEET_JSON" \
+  || fail "rbcast_top --once --json exited non-zero"
+case "$(cat "$FLEET_JSON")" in
+  *"\"hosts\":$hosts"*) ;;
+  *) fail "rbcast_top fleet does not count $hosts hosts: $(cat "$FLEET_JSON")" ;;
+esac
+case "$(cat "$FLEET_JSON")" in
+  *'"converged":true'*) ;;
+  *) fail "rbcast_top fleet not converged: $(cat "$FLEET_JSON")" ;;
+esac
+
+# --- 5: hostile input must not kill the node ---------------------------------
+printf 'POST /metrics HTTP/1.1\r\n\r\n' \
+  | curl -s -m 5 --data-binary @- "http://127.0.0.1:$PORT/metrics" >/dev/null
+printf '\x00\x01\x02garbage\r\n\r\n' >"$WORK_DIR/garbage.bin"
+curl -s -m 5 --data-binary "@$WORK_DIR/garbage.bin" \
+  "http://127.0.0.1:$PORT/" >/dev/null
+kill -0 "$NODE_PID" 2>/dev/null || fail "node died on malformed requests"
+status_after=$(http_get /status)
+case "$status_after" in
+  *'"ready":true'*) ;;
+  *) fail "/status unhealthy after malformed requests: $status_after" ;;
+esac
+
+# --- 6: clean early shutdown through /quit -----------------------------------
+http_get /quit >/dev/null
+wait "$NODE_PID"
+rc=$?
+[ "$rc" -eq 0 ] || fail "node exited $rc after /quit: $(cat "$NODE_LOG")"
+grep -q "converged: yes" "$NODE_LOG" || fail "node log lacks convergence: $(cat "$NODE_LOG")"
+
+echo "admin smoke passed: port $PORT, fleet snapshot in $FLEET_JSON"
+exit 0

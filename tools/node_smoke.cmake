@@ -2,7 +2,10 @@
 #
 #   1. run the 32-host single-cluster workload over real UDP sockets
 #      (rbcast_node --all-hosts, seeded impairment, ephemeral ports) with
-#      a wall-clock convergence deadline;
+#      a wall-clock convergence deadline — when RBCAST_TOP is set, the
+#      run happens inside admin_smoke.sh, which additionally probes the
+#      live admin plane (/healthz readiness flip, /metrics schema,
+#      rbcast_top fleet aggregation, hostile-input survival);
 #   2. run the same workload in the simulator (rbcast_sim, one cluster of
 #      32 hosts, same message count);
 #   3. rbcast_trace --compare must report identical per-host delivery sets
@@ -11,15 +14,27 @@ file(MAKE_DIRECTORY ${WORK_DIR})
 set(real_trace ${WORK_DIR}/node_smoke.real.jsonl)
 set(sim_trace ${WORK_DIR}/node_smoke.sim.jsonl)
 
-execute_process(
-  COMMAND ${RBCAST_NODE} --config ${NODE_CONFIG} --all-hosts
-          --trace-out ${real_trace}
-  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "rbcast_node run failed (${rc}):\n${out}${err}")
-endif()
-if(NOT out MATCHES "converged: yes")
-  message(FATAL_ERROR "rbcast_node did not converge:\n${out}")
+if(DEFINED RBCAST_TOP)
+  execute_process(
+    COMMAND bash ${CMAKE_CURRENT_LIST_DIR}/admin_smoke.sh
+            ${RBCAST_NODE} ${RBCAST_TOP} ${NODE_CONFIG} ${WORK_DIR}
+            ${real_trace}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "admin smoke failed (${rc}):\n${out}${err}")
+  endif()
+  message(STATUS "${out}")
+else()
+  execute_process(
+    COMMAND ${RBCAST_NODE} --config ${NODE_CONFIG} --all-hosts
+            --trace-out ${real_trace}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "rbcast_node run failed (${rc}):\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "converged: yes")
+    message(FATAL_ERROR "rbcast_node did not converge:\n${out}")
+  endif()
 endif()
 
 execute_process(

@@ -29,6 +29,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -37,11 +38,15 @@
 #include "core/broadcast_host.h"
 #include "core/config.h"
 #include "core/wire_codec.h"
+#include "trace/admin_server.h"
 #include "trace/event_log.h"
+#include "trace/exposition.h"
+#include "trace/metric_sampler.h"
 #include "trace/net_tap.h"
 #include "trace/trace_sink.h"
 #include "transport/udp_transport.h"
 #include "util/json.h"
+#include "util/metrics_registry.h"
 #include "util/real_time_scheduler.h"
 #include "util/rng.h"
 
@@ -58,6 +63,7 @@ struct NodeConfig {
   int messages{20};
   util::Duration interval{util::milliseconds(100)};
   util::Duration run_for{util::seconds(30)};
+  int admin_port{-1};  // <0 = no admin endpoint; 0 = ephemeral
   transport::ImpairmentConfig impairment;
   core::Config protocol;
 };
@@ -69,6 +75,9 @@ struct CliOptions {
   std::string trace_out;
   double run_s = -1;            // <0: take the config's value
   std::uint64_t seed = 0;       // 0: take the config's value
+  int admin_port = -2;          // -2: take the config's value
+  std::string admin_port_file;  // write the bound port here (scripts)
+  double linger_s = 0;          // keep serving admin after the run ends
 };
 
 // Reads a millisecond count into a Duration, falling back to `fallback`
@@ -119,6 +128,11 @@ NodeConfig load_config(const std::string& path) {
   cfg.interval = ms_or(root, "interval_ms", cfg.interval);
   cfg.run_for = util::from_seconds(
       util::json_num_or(root, "run_s", 30, kContext));
+  cfg.admin_port = util::json_int_or(root, "admin_port", -1, kContext);
+  if (cfg.admin_port > 65535) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": 'admin_port' out of range");
+  }
 
   if (const util::Json* imp = root.find("impairment"); imp != nullptr) {
     cfg.impairment.loss = util::json_num_or(*imp, "loss", 0, kContext);
@@ -179,7 +193,9 @@ void usage() {
   std::cout <<
       "rbcast_node — reliable broadcast over real UDP sockets\n\n"
       "usage: rbcast_node --config CONFIG.json (--host N | --all-hosts)\n"
-      "                   [--trace-out F] [--run-s T] [--seed N]\n\n"
+      "                   [--trace-out F] [--run-s T] [--seed N]\n"
+      "                   [--admin-port P] [--admin-port-file F]\n"
+      "                   [--linger-s T]\n\n"
       "  --config F      JSON topology + workload (see tools/rbcast_node.cpp\n"
       "                  header for the schema)\n"
       "  --host N        run only host N in this process (one process per\n"
@@ -190,6 +206,14 @@ void usage() {
       "                  diff the two with rbcast_trace --compare)\n"
       "  --run-s T       override the config's wall-clock deadline\n"
       "  --seed N        override the config's seed\n"
+      "  --admin-port P  serve /metrics, /status and /healthz on\n"
+      "                  127.0.0.1:P (0 = ephemeral; also the 'admin_port'\n"
+      "                  config key). Observation-only, out of band.\n"
+      "  --admin-port-file F\n"
+      "                  write the bound admin port to F (scripts resolving\n"
+      "                  an ephemeral port)\n"
+      "  --linger-s T    keep serving the admin endpoint T seconds after\n"
+      "                  the run ends (GET /quit ends the linger early)\n"
       "  --help          this text\n\n"
       "Exits 0 when every host in this process delivered the whole stream\n"
       "before the deadline, 1 otherwise.\n";
@@ -226,6 +250,15 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--seed") {
       if ((value = need_value(i)) == nullptr) return false;
       options.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--admin-port") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.admin_port = std::atoi(value);
+    } else if (arg == "--admin-port-file") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.admin_port_file = value;
+    } else if (arg == "--linger-s") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.linger_s = std::atof(value);
     } else {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";
       return false;
@@ -257,6 +290,7 @@ int main(int argc, char** argv) {
   }
   if (cli.run_s >= 0) cfg.run_for = util::from_seconds(cli.run_s);
   if (cli.seed != 0) cfg.seed = cli.seed;
+  if (cli.admin_port != -2) cfg.admin_port = cli.admin_port;
 
   std::vector<HostId> all_hosts;
   all_hosts.reserve(cfg.peers.size());
@@ -303,7 +337,19 @@ int main(int argc, char** argv) {
 
   int exit_code = 1;
   try {
+    // Declared before the transport and hosts: both register snapshot
+    // callbacks and (hosts) unregister in their destructors.
+    util::MetricsRegistry registry;
     transport::UdpTransport transport(scheduler, codec, std::move(tcfg));
+    transport.register_metrics(registry);
+
+    // Source-broadcast -> local-delivery latency. Fully populated in
+    // --all-hosts mode; in --host mode only deliveries on this process's
+    // hosts of locally originated broadcasts land here (usually none).
+    util::Histogram& delivery_latency = registry.histogram(
+        "delivery.latency_seconds", trace::MetricSampler::latency_bounds(),
+        "", "Source broadcast to first local delivery, seconds");
+    std::map<util::Seq, util::TimePoint> broadcast_at;
 
     if (sink != nullptr) {
       std::ostringstream topo;
@@ -321,8 +367,16 @@ int main(int argc, char** argv) {
     for (const HostId h : local_hosts) {
       hosts.push_back(std::make_unique<core::BroadcastHost>(
           transport, h, cfg.source, all_hosts, cfg.protocol,
-          rngs.stream("host.jitter", h.value)));
+          rngs.stream("host.jitter", h.value),
+          [&](util::Seq seq, std::string_view) {
+            const auto it = broadcast_at.find(seq);
+            if (it == broadcast_at.end()) return;
+            delivery_latency.add(
+                util::to_seconds(scheduler.now() - it->second));
+          }));
       hosts.back()->set_observer(&events);
+      hosts.back()->register_metrics(
+          registry, "host=\"" + std::to_string(h.value) + "\"");
     }
     for (auto& host : hosts) host->start();
 
@@ -336,7 +390,9 @@ int main(int argc, char** argv) {
     std::function<void()> send_next = [&] {
       if (source == nullptr || sent >= cfg.messages) return;
       ++sent;
-      source->broadcast(std::string(cfg.protocol.data_bytes, 'x'));
+      const util::Seq seq =
+          source->broadcast(std::string(cfg.protocol.data_bytes, 'x'));
+      broadcast_at[seq] = scheduler.now();
       if (sent < cfg.messages) scheduler.after(cfg.interval, send_next);
     };
     if (source != nullptr && cfg.messages > 0) {
@@ -362,6 +418,99 @@ int main(int argc, char** argv) {
       scheduler.after(util::milliseconds(200), poll);
     };
     scheduler.after(util::milliseconds(200), poll);
+
+    // --- admin endpoint (observation-only, out of band) ---------------------
+
+    std::unique_ptr<trace::AdminServer> admin;
+    if (cfg.admin_port >= 0) {
+      admin = std::make_unique<trace::AdminServer>(
+          scheduler, static_cast<std::uint16_t>(cfg.admin_port));
+      trace::AdminServer* srv = admin.get();
+      registry.register_counter_fn("admin.requests", "",
+                                   "Admin GETs routed to a handler",
+                                   [srv] { return srv->stats().requests; });
+      registry.register_counter_fn(
+          "admin.bad_requests", "",
+          "Malformed, oversized or non-GET admin requests",
+          [srv] { return srv->stats().bad_requests; });
+      registry.register_gauge_fn(
+          "admin.open_connections", "", "Admin connections currently open",
+          [srv] { return static_cast<double>(srv->open_connections()); });
+
+      const auto make_status = [&] {
+        trace::StatusDoc doc;
+        doc.now_s = util::to_seconds(scheduler.now());
+        doc.ready = converged_at >= 0;
+        doc.source = cfg.source.value;
+        doc.messages_expected = cfg.messages;
+        doc.messages_sent = sent;
+        for (const auto& host : hosts) {
+          trace::HostStatus hs;
+          hs.id = host->self().value;
+          hs.source = host->is_source();
+          const HostId parent = host->parent();
+          hs.parent = parent.valid() ? parent.value : -1;
+          hs.orphan = !host->is_source() && !parent.valid();
+          hs.leader = !parent.valid() || !host->state().in_cluster(parent);
+          hs.info_count = host->info().count();
+          hs.max_seq = host->info().max_seq();
+          hs.deliveries = host->counters().deliveries;
+          hs.decode_errors = host->counters().decode_errors;
+          for (const HostId j : host->state().cluster()) {
+            hs.cluster.push_back(j.value);
+          }
+          doc.hosts.push_back(std::move(hs));
+        }
+        doc.metrics = registry.snapshot();
+        return doc;
+      };
+
+      admin->handle("/metrics", [&registry] {
+        std::ostringstream os;
+        trace::write_prometheus(os, registry.snapshot());
+        trace::AdminServer::Response r;
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = os.str();
+        return r;
+      });
+      admin->handle("/status", [make_status] {
+        trace::AdminServer::Response r;
+        r.content_type = "application/json";
+        r.body = trace::status_json(make_status());
+        return r;
+      });
+      admin->handle("/healthz", [&converged_at] {
+        trace::AdminServer::Response r;
+        if (converged_at >= 0) {
+          r.body = "ok\n";
+        } else {
+          r.status = 503;
+          r.body = "not ready\n";
+        }
+        return r;
+      });
+      // Ends a --linger-s wait early (smoke tests); the stop is delayed a
+      // beat so the response drains before the loop exits.
+      admin->handle("/quit", [&scheduler] {
+        scheduler.after(util::milliseconds(50), [&scheduler] {
+          scheduler.stop();
+        });
+        trace::AdminServer::Response r;
+        r.body = "bye\n";
+        return r;
+      });
+
+      std::cout << "admin: http://127.0.0.1:" << admin->port() << "\n"
+                << std::flush;
+      if (!cli.admin_port_file.empty()) {
+        std::ofstream pf(cli.admin_port_file);
+        pf << admin->port() << "\n";
+        if (!pf) {
+          std::cerr << "cannot write " << cli.admin_port_file << "\n";
+          return 2;
+        }
+      }
+    }
 
     scheduler.run_until(cfg.run_for);
 
@@ -392,6 +541,13 @@ int main(int argc, char** argv) {
                   << host->info().count() << "/" << cfg.messages << "\n";
       }
       exit_code = 1;
+    }
+    // Keep the admin endpoint up after the verdict so scrapers (and the
+    // smoke's rbcast_top) can observe the final state; GET /quit ends the
+    // wait early. Hosts stay alive so /status keeps answering.
+    if (admin != nullptr && cli.linger_s > 0) {
+      std::cout << "admin: lingering " << cli.linger_s << "s\n" << std::flush;
+      scheduler.run_for(util::from_seconds(cli.linger_s));
     }
     // Hosts detach from the transport here, before either dies.
     hosts.clear();

@@ -48,6 +48,7 @@ struct CliOptions {
   std::string trace_out;     // JSONL trace file (rbcast_trace reads it)
   std::string chrome_trace;  // Chrome/Perfetto trace_event JSON file
   int sample_period_ms = 1000;  // metric time-series period when tracing
+  int batch_flush_ms = 0;       // 0 = coalescing data plane off
   std::string chaos_spec;       // replay a chaos spec instead (rbcast_chaos)
   std::uint64_t chaos_seed = 1;
 };
@@ -125,6 +126,10 @@ void usage() {
       "  --trace-out F      stream a JSONL trace of the run to F\n"
       "                     (analyze with rbcast_trace)\n"
       "  --chrome-trace F   also write a Chrome/Perfetto trace_event file\n"
+      "  --batch-flush-ms N coalesce same-destination frames for up to\n"
+      "                     N ms (the batched data plane; default 0 =\n"
+      "                     off). Coalescer counters then appear in the\n"
+      "                     trace's \"registry\" metric records\n"
       "  --sample-period-ms N\n"
       "                     metric time-series period when tracing\n"
       "                     (default 1000; 0 disables sampling)\n"
@@ -237,6 +242,9 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--chrome-trace") {
       if ((value = need_value(i)) == nullptr) return false;
       options.chrome_trace = value;
+    } else if (arg == "--batch-flush-ms") {
+      if ((value = need_value(i)) == nullptr) return false;
+      options.batch_flush_ms = std::atoi(value);
     } else if (arg == "--sample-period-ms") {
       if ((value = need_value(i)) == nullptr) return false;
       options.sample_period_ms = std::atoi(value);
@@ -273,6 +281,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
   }
   if (options.sample_period_ms < 0) {
     std::cerr << "--sample-period-ms must be >= 0\n";
+    return false;
+  }
+  if (options.batch_flush_ms < 0) {
+    std::cerr << "--batch-flush-ms must be >= 0\n";
     return false;
   }
   return true;
@@ -319,6 +331,7 @@ int main(int argc, char** argv) {
   harness::ScenarioOptions options;
   options.protocol_kind = cli.kind;
   options.seed = cli.seed;
+  options.protocol.batch_flush_delay = sim::milliseconds(cli.batch_flush_ms);
   harness::Experiment e(std::move(topology), options);
 
   // The reproduction line: everything needed to rerun this exact run.
