@@ -1,0 +1,55 @@
+// Per-source authentication for the broadcast data plane.
+//
+// The paper assumes crash-prone but honest hosts; the Byzantine hardening
+// pass (ROADMAP, Bonomi/Farina/Tixeuil arXiv 1811.01770 and Imbs-Raynal
+// arXiv 1510.06882 in PAPERS.md) needs the standard authenticated-channel
+// defense: every DATA/gap-fill frame carries a payload digest plus a tag
+// that binds (source, seq, digest) under a per-source secret. A relay that
+// corrupts the body, equivocates (different bodies for one seq), or forges
+// a frame for a sequence the source never signed cannot produce a valid
+// tag, so receivers reject the frame on arrival and the blast radius of a
+// faulty relay collapses to its direct edges.
+//
+// This is a *model* of unforgeable signatures, not cryptography: the tag
+// is a seeded 64-bit mixer (splitmix64 over the bound fields), and the
+// experiment contract is that the adversary layer (harness/byzantine.*)
+// mutates frames without recomputing tags — exactly the capability split
+// the Byzantine reliable-broadcast literature assumes for signed messages.
+// Do not reuse outside the simulator/testbed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/ids.h"
+#include "util/seq_set.h"
+
+namespace rbcast::core {
+
+// What a DATA/gap-fill frame carries when Config::auth_enabled.
+struct AuthTag {
+  std::uint64_t digest{0};  // payload_digest(body)
+  std::uint64_t tag{0};     // auth_mac(secret, source, seq, digest)
+
+  friend bool operator==(const AuthTag&, const AuthTag&) = default;
+};
+
+// FNV-1a 64-bit over the body bytes. Unkeyed: anyone can recompute it,
+// and a receiver uses it to pin the tag to the exact bytes received.
+[[nodiscard]] std::uint64_t payload_digest(std::string_view body);
+
+// Keyed tag over (source, seq, digest). Only the source (holder of the
+// per-source secret derived from `secret`) can produce it; every receiver
+// can verify it — the symmetric stand-in for a signature.
+[[nodiscard]] std::uint64_t auth_mac(std::uint64_t secret, HostId source,
+                                     util::Seq seq, std::uint64_t digest);
+
+[[nodiscard]] AuthTag make_auth_tag(std::uint64_t secret, HostId source,
+                                    util::Seq seq, std::string_view body);
+
+// True iff `t` is exactly what make_auth_tag would produce for this body.
+[[nodiscard]] bool verify_auth_tag(std::uint64_t secret, HostId source,
+                                   util::Seq seq, std::string_view body,
+                                   const AuthTag& t);
+
+}  // namespace rbcast::core

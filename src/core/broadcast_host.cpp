@@ -101,6 +101,9 @@ void BroadcastHost::register_metrics(util::MetricsRegistry& registry,
        &Counters::deliveries},
       {"host.decode_errors", "Deliveries whose payload failed wire decoding",
        &Counters::decode_errors},
+      {"host.auth_rejects",
+       "Data frames dropped for a missing or invalid authentication tag",
+       &Counters::auth_rejects},
   };
   for (const Field& f : kFields) {
     registry.register_counter_fn(
@@ -148,6 +151,10 @@ Seq BroadcastHost::broadcast(std::string body) {
   // generated at the source."
   const bool fresh = state_.record_message(seq, std::move(body));
   RBCAST_ASSERT(fresh);
+  if (config_.auth_enabled) {
+    auth_tags_[seq] = make_auth_tag(config_.auth_secret, self(), seq,
+                                    state_.body_of(seq)->view());
+  }
   ++counters_.deliveries;
   if (observer_ != nullptr) observer_->on_delivered(self(), seq);
   if (app_deliver_) app_deliver_(seq, state_.body_of(seq)->view());
@@ -172,6 +179,21 @@ void BroadcastHost::on_delivery(const net::Delivery& delivery) {
     // malformed datagram must not vouch for its claimed sender.
     ++counters_.decode_errors;
     return;
+  }
+
+  // Authentication gate (Config::auth_enabled): a data frame whose tag is
+  // missing or does not verify is dropped here, before *any* bookkeeping —
+  // a forged frame must not freshen liveness timers, flip cluster bits, or
+  // smuggle in a piggybacked INFO report.
+  if (config_.auth_enabled) {
+    if (const auto* data = std::get_if<DataMsg>(message)) {
+      if (!data->auth.has_value() ||
+          !verify_auth_tag(config_.auth_secret, source_, data->seq,
+                           data->body.view(), *data->auth)) {
+        ++counters_.auth_rejects;
+        return;
+      }
+    }
   }
 
   const HostId from = delivery.from;
@@ -231,6 +253,9 @@ void BroadcastHost::handle_data(HostId from, const DataMsg& m) {
     if (observer_ != nullptr) observer_->on_new_max_rejected(self(), from, m.seq);
     return;
   }
+  // The tag verified in on_delivery() travels with the body: forwards and
+  // gap fills re-attach the source's original signature.
+  if (config_.auth_enabled && m.auth.has_value()) auth_tags_[m.seq] = *m.auth;
   accept_message(m.seq, m.body, new_max, from);
 }
 
@@ -544,7 +569,11 @@ void BroadcastHost::maintenance_round() {
   // have.
   if (config_.enable_pruning) {
     const Seq safe = state_.safe_prefix();
-    if (safe > state_.info().prune_watermark()) state_.prune(safe);
+    if (safe > state_.info().prune_watermark()) {
+      state_.prune(safe);
+      // Tags live exactly as long as the bodies they sign.
+      auth_tags_.erase(auth_tags_.begin(), auth_tags_.upper_bound(safe));
+    }
   }
 }
 
@@ -569,9 +598,13 @@ void BroadcastHost::send_message(HostId to, ProtocolMessage m) {
 
 DataMsg BroadcastHost::make_data(Seq seq, const Payload& body,
                                  bool gap_fill) const {
-  DataMsg m{seq, body, gap_fill, std::nullopt};
+  DataMsg m{seq, body, gap_fill, std::nullopt, std::nullopt};
   if (config_.piggyback_info) {
     m.piggyback = std::make_pair(state_.info(), state_.parent());
+  }
+  if (config_.auth_enabled) {
+    auto it = auth_tags_.find(seq);
+    if (it != auth_tags_.end()) m.auth = it->second;
   }
   return m;
 }

@@ -99,6 +99,11 @@ class BroadcastHost {
     // Deliveries whose payload failed wire decoding (empty std::any from
     // the transport): counted and dropped, exactly like any other loss.
     std::uint64_t decode_errors{0};
+    // Data frames dropped because the per-source authentication tag was
+    // missing or failed verification (Config::auth_enabled, see auth.h).
+    // Rejected frames leave every bit of protocol state untouched — not
+    // even liveness or cluster bookkeeping may trust them.
+    std::uint64_t auth_rejects{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -200,6 +205,11 @@ class BroadcastHost {
   // Optimistic offer tracking (duplicate gap-fill suppression): per peer,
   // the expiry time of each outstanding offer. Ordered for determinism.
   std::map<HostId, std::map<Seq, util::TimePoint>> offered_;
+
+  // Source tags of accepted messages (Config::auth_enabled): relays
+  // forward the original tag verbatim — they cannot re-sign — so it must
+  // be kept alongside the body. Pruned in lockstep with HostState.
+  std::map<Seq, AuthTag> auth_tags_;
 
   Counters counters_;
 

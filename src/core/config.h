@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/time.h"
 #include "util/seq_set.h"
@@ -118,6 +119,19 @@ struct Config {
   // exchange periods). Off by default: the baseline protocol sends
   // control messages separately.
   bool piggyback_info{false};
+
+  // Byzantine hardening (see core/auth.h): when on, every DATA/gap-fill
+  // frame carries a payload digest and a per-source authentication tag
+  // over (source, seq, digest); receivers drop frames whose tag does not
+  // verify and count them in Counters::auth_rejects. Off by default — the
+  // faithful paper protocol trusts relays, and the determinism digests are
+  // pinned with authentication disabled.
+  bool auth_enabled{false};
+
+  // Seed of the per-source key schedule. All honest hosts share it (a
+  // symmetric stand-in for a signature PKI); the Byzantine adversary layer
+  // never recomputes tags, which models unforgeability.
+  std::uint64_t auth_secret{0x52424341'55544831ULL};  // "RBCA UTH1"
 
   // Cluster knowledge mode (Section 6 discussion):
   //   kDynamic — maintain CLUSTER_i from the cost bit (the paper's default)

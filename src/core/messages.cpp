@@ -15,6 +15,9 @@ constexpr std::size_t kHeaderBytes = 24;
 struct SizeVisitor {
   std::size_t operator()(const DataMsg& m) const {
     std::size_t size = kHeaderBytes + 8 + m.body.size();
+    if (m.auth.has_value()) {
+      size += 16;  // digest + tag, both u64
+    }
     if (m.piggyback.has_value()) {
       size += 4 + m.piggyback->first.wire_size();
     }
@@ -71,6 +74,10 @@ enum : std::uint8_t {
 enum : std::uint8_t {
   kDataFlagGapFill = 1,
   kDataFlagPiggyback = 2,
+  // Authenticated frame: digest + tag follow the body (see auth.h).
+  // Pre-auth decoders reject the unknown flag bit, which doubles as
+  // version negotiation: a mixed fleet cannot half-verify a stream.
+  kDataFlagAuth = 4,
 };
 
 void put_u8(std::string& out, std::uint8_t v) {
@@ -180,9 +187,14 @@ struct EncodeVisitor {
     std::uint8_t flags = 0;
     if (m.gap_fill) flags |= kDataFlagGapFill;
     if (m.piggyback.has_value()) flags |= kDataFlagPiggyback;
+    if (m.auth.has_value()) flags |= kDataFlagAuth;
     put_u8(out, flags);
     put_u32(out, static_cast<std::uint32_t>(m.body.size()));
     out.append(m.body.view());
+    if (m.auth.has_value()) {
+      put_u64(out, m.auth->digest);
+      put_u64(out, m.auth->tag);
+    }
     if (m.piggyback.has_value()) {
       put_seq_set(out, m.piggyback->first);
       put_i32(out, m.piggyback->second.value);
@@ -228,13 +240,21 @@ std::optional<ProtocolMessage> decode_message(const char* data,
       std::string body;
       if (!r.take_u64(d.seq) || d.seq < 1 || d.seq > SeqSet::kMaxSeq ||
           !r.take_u8(flags) ||
-          (flags & ~(kDataFlagGapFill | kDataFlagPiggyback)) != 0 ||
+          (flags &
+           ~(kDataFlagGapFill | kDataFlagPiggyback | kDataFlagAuth)) != 0 ||
           !r.take_u32(body_len) || body_len > kMaxBodyBytes ||
           !r.take_string(body, body_len)) {
         return std::nullopt;
       }
       d.body = body;
       d.gap_fill = (flags & kDataFlagGapFill) != 0;
+      if ((flags & kDataFlagAuth) != 0) {
+        AuthTag t;
+        if (!r.take_u64(t.digest) || !r.take_u64(t.tag)) {
+          return std::nullopt;
+        }
+        d.auth = t;
+      }
       if ((flags & kDataFlagPiggyback) != 0) {
         SeqSet info;
         HostId parent{kNoHost};

@@ -17,6 +17,7 @@
 #include <string>
 #include <variant>
 
+#include "core/auth.h"
 #include "core/payload.h"
 #include "util/ids.h"
 #include "util/seq_set.h"
@@ -42,6 +43,11 @@ struct DataMsg {
   // carries the sender's INFO set and parent pointer, keeping neighbors'
   // MAPs fresh without separate control packets.
   std::optional<std::pair<SeqSet, HostId>> piggyback;
+  // Per-source authentication (Config::auth_enabled, see auth.h): digest
+  // of the body plus a tag binding (source, seq, digest). Relays forward
+  // the source's tag verbatim — they cannot re-sign — so any mutation en
+  // route is detected at the next honest hop. Absent in faithful mode.
+  std::optional<AuthTag> auth;
 };
 
 // Periodic state exchange: "Hosts periodically update one another on the

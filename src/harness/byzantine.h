@@ -1,0 +1,85 @@
+// Byzantine adversary layer — a Transport decorator that makes seeded
+// hosts actively malicious instead of merely crashed or partitioned.
+//
+// The chaos harness (chaos.h) injects omission faults: outages, crashes,
+// partitions. The Byzantine reliable-broadcast literature (Bonomi/Farina/
+// Tixeuil arXiv 1811.01770, Imbs-Raynal arXiv 1510.06882 — PAPERS.md)
+// asks a harder question: what happens when a *relay* lies? This layer
+// answers it without touching the protocol: a ByzantineTransport wraps the
+// real transport and interposes on the seeded hosts' outbound endpoints,
+// mutating their protocol messages in flight. Honest hosts, the network
+// model, and the protocol core are all unmodified — exactly the paper's
+// "nonprogrammable" stance applied to the adversary: it can only use the
+// same single-destination send everyone else has.
+//
+// Four behaviors, matching the chaos event types "byz_equivocate",
+// "byz_corrupt", "byz_lie_info" and "byz_offer":
+//  * equivocate — different bodies for the same (source, seq) to different
+//    destinations (the classic split-brain sender);
+//  * corrupt    — deterministic byte flip in every relayed data body;
+//  * lie_info   — inflate the INFO watermark by claiming sequences the
+//    host never received, and tell every peer "you are my parent"
+//    (poisons MAPs, attracts attachments, suppresses gap fills);
+//  * bogus_offer — piggyback a forged gap-fill DATA frame (a sequence the
+//    source never sent) onto each INFO report.
+//
+// Every mutation is a pure function of (behavior window, message, source,
+// destination) — no RNG at interpose time — so same-seed replays stay
+// bit-identical, and mutated frames keep whatever stale authentication
+// tag the original carried: the adversary cannot re-sign (core/auth.h).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/message.h"
+#include "transport/transport.h"
+#include "util/ids.h"
+
+namespace rbcast::harness {
+
+struct ByzantineBehavior {
+  enum class Kind { kEquivocate, kCorrupt, kLieInfo, kBogusOffer };
+  Kind kind{Kind::kCorrupt};
+  // Active window in virtual seconds; to_s <= from_s means "forever".
+  double from_s{0};
+  double to_s{0};
+};
+
+// Per-host behavior schedule. Ordered so iteration (and thus any derived
+// event order) is deterministic.
+using ByzantineSchedule = std::map<HostId, std::vector<ByzantineBehavior>>;
+
+// Decorates `inner`: hosts named in `schedule` send through a mutating
+// interposer, everyone else passes through untouched. `source` is the
+// broadcast source id (needed to forge trace ids the invariant monitor
+// can attribute). The inner transport must outlive this object.
+class ByzantineTransport final : public transport::Transport {
+ public:
+  ByzantineTransport(transport::Transport& inner, ByzantineSchedule schedule,
+                     HostId source);
+  ~ByzantineTransport() override;
+
+  [[nodiscard]] util::Scheduler& scheduler() override;
+  net::HostEndpoint& attach(HostId host, net::DeliveryFn deliver) override;
+  void detach(HostId host) override;
+
+  [[nodiscard]] const ByzantineSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] std::set<HostId> byzantine_hosts() const;
+
+  // Frames altered or injected so far (telemetry for chaos reports).
+  [[nodiscard]] std::uint64_t mutations() const { return mutations_; }
+
+ private:
+  class Endpoint;
+
+  transport::Transport& inner_;
+  ByzantineSchedule schedule_;
+  HostId source_;
+  std::uint64_t mutations_{0};
+  std::map<HostId, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace rbcast::harness

@@ -63,14 +63,37 @@ std::size_t mod_index(int target, std::size_t n) {
   return static_cast<std::size_t>(((target % m) + m) % m);
 }
 
+bool is_byzantine_event(const std::string& type) {
+  return type == "byz_equivocate" || type == "byz_corrupt" ||
+         type == "byz_lie_info" || type == "byz_offer";
+}
+
 void validate_event_type(const std::string& type) {
-  if (type != "outage" && type != "crash" && type != "partition") {
+  if (type != "outage" && type != "crash" && type != "partition" &&
+      !is_byzantine_event(type)) {
     throw std::invalid_argument("chaos spec: unknown event type '" + type +
                                 "'");
   }
 }
 
+ByzantineBehavior::Kind byzantine_kind(const std::string& type) {
+  if (type == "byz_equivocate") return ByzantineBehavior::Kind::kEquivocate;
+  if (type == "byz_corrupt") return ByzantineBehavior::Kind::kCorrupt;
+  if (type == "byz_lie_info") return ByzantineBehavior::Kind::kLieInfo;
+  RBCAST_ASSERT(type == "byz_offer");
+  return ByzantineBehavior::Kind::kBogusOffer;
+}
+
 }  // namespace
+
+// The (invariant, category) pair a shrink candidate must reproduce. The
+// category keeps failure classes apart: stripping every byz_* event from a
+// Byzantine repro turns its I2/I3 violations into uncategorized ones, so
+// such a candidate is correctly rejected instead of conflating the repro
+// with an ordinary crash/partition failure.
+std::string violation_signature(const InvariantViolation& v) {
+  return v.category.empty() ? v.invariant : v.invariant + "/" + v.category;
+}
 
 std::string to_json(const ChaosSpec& spec) {
   std::ostringstream os;
@@ -97,11 +120,22 @@ std::string to_json(const ChaosSpec& spec) {
      << ", \"jitter_topology\": " << (spec.jitter_topology ? "true" : "false")
      << ", \"jitter_config\": " << (spec.jitter_config ? "true" : "false")
      << "}";
+  const bool has_byzantine = spec.byzantine != 0 || !spec.byz_equivocate ||
+                             !spec.byz_corrupt || !spec.byz_lie_info ||
+                             !spec.byz_bogus_offer;
+  if (has_byzantine) {
+    os << ",\n  \"byzantine\": {\"count\": " << spec.byzantine
+       << ", \"equivocate\": " << (spec.byz_equivocate ? "true" : "false")
+       << ", \"corrupt\": " << (spec.byz_corrupt ? "true" : "false")
+       << ", \"lie_info\": " << (spec.byz_lie_info ? "true" : "false")
+       << ", \"bogus_offer\": " << (spec.byz_bogus_offer ? "true" : "false")
+       << "}";
+  }
   const bool has_config =
       spec.attach_period_s.has_value() || spec.info_period_inter_s.has_value() ||
       spec.gapfill_period_neighbor_s.has_value() ||
       spec.piggyback_info.has_value() || spec.batch_flush_ms.has_value() ||
-      spec.batch_max_bytes.has_value();
+      spec.batch_max_bytes.has_value() || spec.auth_enabled.has_value();
   if (has_config) {
     os << ",\n  \"config\": {";
     const char* sep = "";
@@ -130,6 +164,11 @@ std::string to_json(const ChaosSpec& spec) {
     }
     if (spec.batch_max_bytes.has_value()) {
       os << sep << "\"batch_max_bytes\": " << *spec.batch_max_bytes;
+      sep = ", ";
+    }
+    if (spec.auth_enabled.has_value()) {
+      os << sep << "\"auth_enabled\": "
+         << (*spec.auth_enabled ? "true" : "false");
     }
     os << "}";
   }
@@ -187,6 +226,13 @@ ChaosSpec parse_chaos_spec(const std::string& json) {
     spec.jitter_topology = bool_or(*g, "jitter_topology", spec.jitter_topology);
     spec.jitter_config = bool_or(*g, "jitter_config", spec.jitter_config);
   }
+  if (const Json* b = root.find("byzantine"); b != nullptr) {
+    spec.byzantine = int_or(*b, "count", spec.byzantine);
+    spec.byz_equivocate = bool_or(*b, "equivocate", spec.byz_equivocate);
+    spec.byz_corrupt = bool_or(*b, "corrupt", spec.byz_corrupt);
+    spec.byz_lie_info = bool_or(*b, "lie_info", spec.byz_lie_info);
+    spec.byz_bogus_offer = bool_or(*b, "bogus_offer", spec.byz_bogus_offer);
+  }
   if (const Json* c = root.find("config"); c != nullptr) {
     if (c->find("attach_period_s") != nullptr) {
       spec.attach_period_s = num_or(*c, "attach_period_s", 0);
@@ -206,6 +252,9 @@ ChaosSpec parse_chaos_spec(const std::string& json) {
     }
     if (c->find("batch_max_bytes") != nullptr) {
       spec.batch_max_bytes = int_or(*c, "batch_max_bytes", 0);
+    }
+    if (c->find("auth_enabled") != nullptr) {
+      spec.auth_enabled = bool_or(*c, "auth_enabled", false);
     }
   }
   spec.concrete = bool_or(root, "concrete", false);
@@ -309,6 +358,28 @@ ChaosSpec concretize(const ChaosSpec& spec, std::uint64_t seed) {
           static_cast<int>(rng.uniform_int(0, out.clusters - 1))));
     }
   }
+  {
+    // Each adversary draws a target and one window per enabled behavior.
+    // Separate events per behavior keep ddmin granularity fine: a shrunk
+    // repro names exactly the behaviors needed to reproduce.
+    util::Rng rng = rngs.stream("chaos.byzantine");
+    for (int k = 0; k < out.byzantine; ++k) {
+      const int target =
+          static_cast<int>(rng.uniform_int(0, host_targets - 1));
+      if (out.byz_equivocate) {
+        out.events.push_back(draw_window(rng, "byz_equivocate", target));
+      }
+      if (out.byz_corrupt) {
+        out.events.push_back(draw_window(rng, "byz_corrupt", target));
+      }
+      if (out.byz_lie_info) {
+        out.events.push_back(draw_window(rng, "byz_lie_info", target));
+      }
+      if (out.byz_bogus_offer) {
+        out.events.push_back(draw_window(rng, "byz_offer", target));
+      }
+    }
+  }
   // Flapping becomes explicit outage windows, so the whole schedule is one
   // shrinkable event list.
   for (int i = 0; i < out.flap_links; ++i) {
@@ -379,8 +450,28 @@ ChaosRunResult run_chaos(const ChaosSpec& spec, std::uint64_t seed,
     options.protocol.batch_max_bytes =
         static_cast<std::size_t>(*c.batch_max_bytes);
   }
+  if (c.auth_enabled.has_value()) {
+    options.protocol.auth_enabled = *c.auth_enabled;
+  }
+
+  // Byzantine behavior windows become a per-host schedule before the
+  // experiment is wired (the decorator interposes at host attach time).
+  // Targets map onto non-source hosts: an adversarial source would trivially
+  // violate everything, which is not the containment question.
+  const std::size_t total_hosts = wan.topology.host_count();
+  for (const ChaosEvent& ev : c.events) {
+    if (!is_byzantine_event(ev.type)) continue;
+    if (ev.to_s <= ev.from_s || total_hosts < 2) continue;
+    const auto victim = static_cast<HostId::value_type>(
+        1 + mod_index(ev.target, total_hosts - 1));
+    options.byzantine[HostId{victim}].push_back(
+        ByzantineBehavior{byzantine_kind(ev.type), ev.from_s, ev.to_s});
+  }
 
   Experiment e(wan.topology, options);
+  if (!options.byzantine.empty()) {
+    e.monitor()->set_byzantine_hosts(e.byzantine()->byzantine_hosts());
+  }
   if (sink != nullptr) e.set_trace_sink(sink);
 
   for (const ChaosEvent& ev : c.events) {
@@ -403,6 +494,8 @@ ChaosRunResult run_chaos(const ChaosSpec& spec, std::uint64_t seed,
       const auto cut = net::FaultPlan::trunks_incident_to(
           e.topology(), wan.cluster_head_server[cluster]);
       if (!cut.empty()) e.faults().partition_window(cut, from, to);
+    } else if (is_byzantine_event(ev.type)) {
+      // Already folded into options.byzantine above.
     } else {
       throw std::invalid_argument("chaos spec: unknown event type '" +
                                   ev.type + "'");
@@ -433,6 +526,10 @@ ChaosRunResult run_chaos(const ChaosSpec& spec, std::uint64_t seed,
   result.delivered_all = e.all_delivered();
   result.completion_s = sim::to_seconds(done);
   result.manifest = trace::manifest_line(e.manifest());
+  result.containment = e.monitor()->containment();
+  for (const core::BroadcastHost* host : e.host_views()) {
+    result.auth_rejects += host->counters().auth_rejects;
+  }
   return result;
 }
 
@@ -446,17 +543,18 @@ ShrinkResult shrink_chaos(const ChaosSpec& failing, std::uint64_t seed,
   ++attempts;
   RBCAST_CHECK_ARG(original.violated(),
                    "shrink_chaos requires a spec that fails under this seed");
-  const std::string signature = original.violations.front().invariant;
+  const std::string signature = violation_signature(original.violations.front());
 
-  // A candidate is kept only if it still violates the *same* invariant —
-  // shrinking must preserve the failure, not find a different one.
+  // A candidate is kept only if it still violates the *same* invariant in
+  // the *same* failure class — shrinking must preserve the failure, not
+  // find a different one (see violation_signature).
   auto fails = [&](const ChaosSpec& candidate) {
     if (attempts >= max_attempts) return false;
     ++attempts;
     const ChaosRunResult r = run_chaos(candidate, seed);
     return std::any_of(r.violations.begin(), r.violations.end(),
                        [&](const InvariantViolation& v) {
-                         return v.invariant == signature;
+                         return violation_signature(v) == signature;
                        });
   };
 

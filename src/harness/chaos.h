@@ -27,10 +27,14 @@ namespace rbcast::harness {
 
 // One concrete fault. Targets are mapped modulo the relevant entity count
 // at apply time (trunk index for outages, host id for crashes, cluster
-// index for partitions), so a schedule stays valid when the topology is
-// shrunk underneath it.
+// index for partitions, non-source host index for byz_* behaviors), so a
+// schedule stays valid when the topology is shrunk underneath it.
+//
+// The byz_* types are Byzantine behavior windows (harness/byzantine.h):
+// "byz_equivocate" | "byz_corrupt" | "byz_lie_info" | "byz_offer". Each
+// behavior is its own event so ddmin can strip them one by one.
 struct ChaosEvent {
-  std::string type;  // "outage" | "crash" | "partition"
+  std::string type;  // "outage" | "crash" | "partition" | "byz_*"
   int target{0};
   double from_s{0};
   double to_s{0};
@@ -67,6 +71,15 @@ struct ChaosSpec {
   bool jitter_topology{false};
   bool jitter_config{true};
 
+  // Byzantine adversary family: how many non-source hosts turn malicious,
+  // and which behaviors each draws a window for. 0 (the default) keeps the
+  // faithful honest-host model — no adversary wiring is created at all.
+  int byzantine{0};
+  bool byz_equivocate{true};
+  bool byz_corrupt{true};
+  bool byz_lie_info{true};
+  bool byz_bogus_offer{true};
+
   // --- protocol config overrides (drawn by concretize under
   // jitter_config; absent fields keep core::Config defaults) --------------
   std::optional<double> attach_period_s;
@@ -76,6 +89,8 @@ struct ChaosSpec {
   // Data-plane coalescing (0 ms = batching off, the protocol default).
   std::optional<double> batch_flush_ms;
   std::optional<int> batch_max_bytes;
+  // Per-source authentication (core/auth.h) — the Byzantine defense.
+  std::optional<bool> auth_enabled;
 
   // --- concrete schedule --------------------------------------------------
   // `concrete` marks an expanded spec; it stays true even when shrinking
@@ -110,6 +125,11 @@ struct ChaosRunResult {
   double completion_s{0};
   // The run's reproduction line (seed, topology, protocol, build).
   std::string manifest;
+  // Blast-radius summary (meaningful when the spec scheduled Byzantine
+  // hosts; empty sets otherwise).
+  ContainmentReport containment;
+  // Fleet-wide sum of Counters::auth_rejects at end of run.
+  std::uint64_t auth_rejects{0};
   [[nodiscard]] bool violated() const { return !violations.empty(); }
 };
 
@@ -119,6 +139,13 @@ struct ChaosRunResult {
 [[nodiscard]] ChaosRunResult run_chaos(const ChaosSpec& spec,
                                        std::uint64_t seed,
                                        trace::TraceSink* sink = nullptr);
+
+// The equivalence key a shrink candidate must reproduce and the label
+// rbcast_chaos reports per failure: the invariant name, qualified with
+// "/byzantine" when the violation is attributed to a lying relay — so
+// Byzantine repros are never conflated with crash/partition repros of the
+// same invariant.
+[[nodiscard]] std::string violation_signature(const InvariantViolation& v);
 
 // --- auto-shrinking --------------------------------------------------------
 

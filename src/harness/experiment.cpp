@@ -30,6 +30,12 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
       transport::CoalescerConfig{options_.protocol.batch_flush_delay,
                                  options_.protocol.batch_max_bytes});
   transport_->register_metrics(registry_);
+  if (!options_.byzantine.empty()) {
+    RBCAST_CHECK_ARG(options_.protocol_kind == ProtocolKind::kPaper,
+                     "byzantine schedule applies to the paper protocol");
+    byzantine_transport_ = std::make_unique<ByzantineTransport>(
+        *transport_, options_.byzantine, options_.source);
+  }
   metrics_ = std::make_unique<trace::Metrics>(simulator_, *network_);
   metrics_->attach();
   events_ = std::make_unique<trace::EventLog>(simulator_);
@@ -68,8 +74,14 @@ Experiment::Experiment(topo::Topology topology, ScenarioOptions options)
           inner(seq, body);
         };
       }
+      // Byzantine hosts attach through the mutating decorator; with no
+      // schedule the wrapper does not exist and wiring is unchanged.
+      transport::Transport& host_transport =
+          byzantine_transport_ != nullptr
+              ? static_cast<transport::Transport&>(*byzantine_transport_)
+              : *transport_;
       auto node = std::make_unique<core::BroadcastHost>(
-          *transport_, h, options_.source, all_hosts, options_.protocol,
+          host_transport, h, options_.source, all_hosts, options_.protocol,
           rngs_.stream("host.jitter", h.value), std::move(deliver));
       if (options_.protocol.cluster_knowledge ==
           core::Config::ClusterKnowledge::kStatic) {

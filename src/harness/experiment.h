@@ -16,6 +16,7 @@
 #include "core/gossip_protocol.h"
 #include "core/ordered_delivery.h"
 #include "core/protocol_observer.h"
+#include "harness/byzantine.h"
 #include "harness/invariant_monitor.h"
 #include "net/fault_plan.h"
 #include "net/network.h"
@@ -57,6 +58,11 @@ struct ScenarioOptions {
   // Read-only: enabling it does not change the protocol event digest.
   bool monitor_invariants{false};
   MonitorOptions monitor{};
+  // Byzantine adversary schedule (paper protocol only): hosts named here
+  // send through a mutating ByzantineTransport interposer. Empty (the
+  // default) leaves the transport wiring untouched, so the determinism
+  // digests are unaffected unless an adversary is actually scheduled.
+  ByzantineSchedule byzantine{};
 };
 
 class Experiment {
@@ -128,6 +134,10 @@ class Experiment {
   // The transport the paper hosts run over — benches read its coalescer
   // stats to report datagram amortization when batching is on.
   [[nodiscard]] transport::SimTransport& transport() { return *transport_; }
+  // The Byzantine decorator, when a schedule was given (else nullptr).
+  [[nodiscard]] ByzantineTransport* byzantine() {
+    return byzantine_transport_.get();
+  }
   [[nodiscard]] net::FaultPlan& faults() { return *faults_; }
   [[nodiscard]] trace::Metrics& metrics() { return *metrics_; }
   // The runtime metrics registry: the sim transport's coalescer stats are
@@ -174,6 +184,10 @@ class Experiment {
   // forwarding adapter, so the wiring change is digest-invisible);
   // declared before the hosts so it outlives them.
   std::unique_ptr<transport::SimTransport> transport_;
+  // Byzantine decorator over transport_ (ScenarioOptions::byzantine);
+  // declared after the transport it wraps and before the hosts that
+  // attach through it.
+  std::unique_ptr<ByzantineTransport> byzantine_transport_;
   std::unique_ptr<trace::Metrics> metrics_;
   std::unique_ptr<trace::EventLog> events_;
   std::unique_ptr<net::FaultPlan> faults_;

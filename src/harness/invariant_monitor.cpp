@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string_view>
 
 #include "model/invariants.h"
 #include "trace/convergence.h"
@@ -41,6 +42,10 @@ void InvariantMonitor::set_faults_quiet_at(sim::TimePoint t) {
   converge_checked_ = false;
 }
 
+void InvariantMonitor::set_byzantine_hosts(std::set<HostId> hosts) {
+  byzantine_hosts_ = std::move(hosts);
+}
+
 void InvariantMonitor::on_source_broadcast(util::Seq seq,
                                            std::string_view body) {
   RBCAST_CHECK_ARG(seq == source_bodies_.size() + 1,
@@ -58,6 +63,108 @@ void InvariantMonitor::on_app_delivery(HostId host, util::Seq seq,
   RBCAST_CHECK_ARG(host.valid() && i < hosts_.size(), "unknown host");
   ++delivery_counts_[i][seq];
   delivered_bodies_[i].emplace(seq, std::string(body));  // keep the first body seen
+  // Blast radius: a delivery of a body the source never generated (wrong
+  // bytes, or a sequence beyond the stream) marks this host corrupted; the
+  // hop distance to the nearest adversary is measured now, while the
+  // parent graph that carried the bad data is still standing. The source
+  // itself is exempt: its local delivery IS the ground truth and races
+  // the on_source_broadcast report by one event.
+  if (!byzantine_hosts_.empty() && host != source_) {
+    const bool invented = seq > source_bodies_.size();
+    const bool wrong_body = !invented && body != source_bodies_[seq - 1];
+    if (invented || wrong_body) note_corruption(host);
+  }
+}
+
+void InvariantMonitor::note_corruption(HostId host) {
+  if (!corrupted_hosts_.insert(host).second) return;  // hosts, not frames
+  const int hops = hops_to_byzantine(host);
+  // An unreachable host still counts as corrupted; bucket it at the host
+  // count so it reads as "farther than any real path".
+  const int bucket = hops >= 0 ? hops : static_cast<int>(hosts_.size());
+  ++corrupted_by_hops_[bucket];
+  max_corruption_hops_ = std::max(max_corruption_hops_, bucket);
+}
+
+int InvariantMonitor::hops_to_byzantine(HostId host) const {
+  if (byzantine_hosts_.empty()) return -1;
+  if (byzantine_hosts_.contains(host)) return 0;
+  // Undirected BFS over the current parent edges {i, parent(i)}.
+  const std::size_t n = hosts_.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HostId parent = hosts_[i]->parent();
+    if (!parent.valid()) continue;
+    const auto p = static_cast<std::size_t>(parent.value);
+    if (p >= n) continue;
+    adj[i].push_back(p);
+    adj[p].push_back(i);
+  }
+  std::vector<int> dist(n, -1);
+  std::vector<std::size_t> frontier{static_cast<std::size_t>(host.value)};
+  dist[static_cast<std::size_t>(host.value)] = 0;
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : frontier) {
+      if (byzantine_hosts_.contains(hosts_[i]->self())) return dist[i];
+      for (const std::size_t j : adj[i]) {
+        if (dist[j] >= 0) continue;
+        dist[j] = dist[i] + 1;
+        next.push_back(j);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return -1;
+}
+
+ContainmentReport InvariantMonitor::containment() const {
+  ContainmentReport r;
+  r.byzantine = byzantine_hosts_;
+  r.corrupted_hosts = corrupted_hosts_;
+  r.max_hops = max_corruption_hops_;
+  r.hosts_by_hops = corrupted_by_hops_;
+  for (const InvariantViolation& v : violations_) {
+    if (std::find(r.invariants.begin(), r.invariants.end(), v.invariant) ==
+        r.invariants.end()) {
+      r.invariants.push_back(v.invariant);
+    }
+  }
+  return r;
+}
+
+std::string to_string(const ContainmentReport& r) {
+  std::ostringstream os;
+  auto put_set = [&os](const std::set<HostId>& s) {
+    os << "{";
+    bool first = true;
+    for (HostId h : s) {
+      if (!first) os << ",";
+      os << h.value;
+      first = false;
+    }
+    os << "}";
+  };
+  os << "byzantine=";
+  put_set(r.byzantine);
+  os << " corrupted=";
+  put_set(r.corrupted_hosts);
+  os << " max_hops=" << r.max_hops << " by_hops={";
+  bool first = true;
+  for (const auto& [hops, count] : r.hosts_by_hops) {
+    if (!first) os << ",";
+    os << hops << ":" << count;
+    first = false;
+  }
+  os << "} invariants=[";
+  first = true;
+  for (const std::string& id : r.invariants) {
+    if (!first) os << ",";
+    os << id;
+    first = false;
+  }
+  os << "] contained=" << (r.contained() ? "yes" : "no");
+  return os.str();
 }
 
 void InvariantMonitor::on_attached(HostId host, HostId /*parent*/) {
@@ -85,6 +192,11 @@ void InvariantMonitor::on_deliver(const net::Delivery& d) {
   if (d.trace_id == 0 || net::trace_source(d.trace_id) != source_) return;
   const auto seq = static_cast<util::Seq>(net::trace_seq(d.trace_id));
   if (seq > source_bodies_.size()) {
+    // Under a Byzantine schedule, forged frames reaching a host are the
+    // adversary exercising its assumed power (it owns its own sends); the
+    // invariant is over host STATE, and the census/delivery I3 checks
+    // decide whether any host actually accepted the invention.
+    if (!byzantine_hosts_.empty()) return;
     std::ostringstream os;
     os << "a copy of message " << seq << " reached " << d.to << " but only "
        << source_bodies_.size() << " messages were generated";
@@ -100,8 +212,19 @@ void InvariantMonitor::record(const char* invariant,
     ++dropped_;
     return;
   }
-  violations_.push_back(
-      InvariantViolation{invariant, description, simulator_.now()});
+  // I2/I3 are the invariants bad data breaks; under a Byzantine schedule
+  // they are attributed to the adversary class so downstream consumers
+  // (the ddmin signature, repro reports) can tell lying relays apart from
+  // crash/partition failures.
+  std::string category;
+  if (!byzantine_hosts_.empty() &&
+      (std::string_view(invariant) == inv::kIntegrity ||
+       std::string_view(invariant) == inv::kNoInvention)) {
+    category = "byzantine";
+  }
+  violations_.push_back(InvariantViolation{invariant, description,
+                                           simulator_.now(),
+                                           std::move(category)});
 }
 
 void InvariantMonitor::sweep_now() {

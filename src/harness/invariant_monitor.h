@@ -69,7 +69,33 @@ struct InvariantViolation {
   std::string invariant;  // "I1".."I5" / "C1".."C3"
   std::string description;
   sim::TimePoint at{0};
+  // Failure class the violation is attributed to: "byzantine" when a
+  // Byzantine adversary was scheduled and the invariant is one bad data
+  // can break (I2/I3); empty otherwise. The ddmin shrinker keys its
+  // first-violation signature on (invariant, category) so a Byzantine
+  // repro cannot silently degrade into a crash/partition repro.
+  std::string category;
 };
+
+// Blast radius of the scheduled Byzantine hosts: who delivered corrupt or
+// invented data, and how far (in parent-graph hops) it traveled from the
+// nearest adversary. The Bonomi/Farina/Tixeuil containment criterion:
+// with authentication on, bad data must die on the adversary's direct
+// edges — no host beyond hop 1 may deliver it, and in this protocol even
+// the direct neighbors reject it, so corrupted_hosts stays empty.
+struct ContainmentReport {
+  std::set<HostId> byzantine;        // scheduled adversaries
+  std::set<HostId> corrupted_hosts;  // delivered corrupt/invented data
+  int max_hops{0};                   // farthest corrupted host (hops)
+  std::map<int, int> hosts_by_hops;  // distance -> corrupted host count
+  std::vector<std::string> invariants;  // distinct invariant ids broken
+  [[nodiscard]] bool contained() const {
+    return corrupted_hosts.empty() || max_hops <= 1;
+  }
+};
+
+// One line per aspect, human-readable ("byzantine={3} corrupted=...").
+[[nodiscard]] std::string to_string(const ContainmentReport& r);
 
 class InvariantMonitor final : public core::ProtocolObserver,
                                public net::NetObserver {
@@ -88,6 +114,11 @@ class InvariantMonitor final : public core::ProtocolObserver,
   // liveness conditions C1-C3 (measured from `t`). Calling again re-arms
   // them from the new quiescence point.
   void set_faults_quiet_at(sim::TimePoint t);
+
+  // Declares which hosts run under a Byzantine schedule. Arms blast-radius
+  // tracking (containment()) and the "byzantine" violation category; call
+  // before the run starts.
+  void set_byzantine_hosts(std::set<HostId> hosts);
 
   // Source-side hook: message `seq` was generated with `body`. Bodies are
   // the I2/I3 ground truth; every broadcast must be reported here.
@@ -111,6 +142,10 @@ class InvariantMonitor final : public core::ProtocolObserver,
   [[nodiscard]] std::size_t dropped_violations() const { return dropped_; }
   [[nodiscard]] std::uint64_t sweeps_run() const { return sweeps_; }
 
+  // Blast-radius summary over the run so far (meaningful once
+  // set_byzantine_hosts was called; empty report otherwise).
+  [[nodiscard]] ContainmentReport containment() const;
+
   // --- ProtocolObserver ----------------------------------------------------
   void on_attached(HostId host, HostId parent) override;
   void on_detached(HostId host, HostId old_parent, bool timeout) override;
@@ -128,6 +163,11 @@ class InvariantMonitor final : public core::ProtocolObserver,
   void check_liveness();
   // A host on a parent cycle, if any exists right now.
   [[nodiscard]] std::optional<HostId> find_parent_cycle() const;
+  // Notes that `host` delivered corrupt/invented data (blast radius).
+  void note_corruption(HostId host);
+  // Parent-graph distance (undirected edges, current pointers) from `host`
+  // to the nearest Byzantine host; -1 when unreachable.
+  [[nodiscard]] int hops_to_byzantine(HostId host) const;
 
   sim::Simulator& simulator_;
   std::vector<const core::BroadcastHost*> hosts_;
@@ -141,6 +181,12 @@ class InvariantMonitor final : public core::ProtocolObserver,
   std::vector<std::map<util::Seq, std::string>> delivered_bodies_;
   std::vector<std::set<util::Seq>> proto_delivered_;
   std::vector<std::optional<sim::TimePoint>> orphan_since_;
+
+  // Blast-radius tracking (set_byzantine_hosts).
+  std::set<HostId> byzantine_hosts_;
+  std::set<HostId> corrupted_hosts_;
+  std::map<int, int> corrupted_by_hops_;
+  int max_corruption_hops_{0};
 
   std::optional<sim::TimePoint> quiet_at_;
   // The first broadcast at or after quiet_at_ — the C2/C3 clock origin.

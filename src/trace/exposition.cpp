@@ -193,7 +193,8 @@ void write_status_json(std::ostream& os, const StatusDoc& doc) {
        << ",\"leader\":" << (h.leader ? "true" : "false")
        << ",\"info_count\":" << h.info_count << ",\"max_seq\":" << h.max_seq
        << ",\"deliveries\":" << h.deliveries
-       << ",\"decode_errors\":" << h.decode_errors << ",\"cluster\":[";
+       << ",\"decode_errors\":" << h.decode_errors
+       << ",\"auth_rejects\":" << h.auth_rejects << ",\"cluster\":[";
     for (std::size_t j = 0; j < h.cluster.size(); ++j) {
       os << (j > 0 ? "," : "") << h.cluster[j];
     }
@@ -240,6 +241,10 @@ StatusDoc parse_status_json(const std::string& text) {
       hs.max_seq = util::json_int_or(h, "max_seq", 0, kContext);
       hs.deliveries = member_u64(h, "deliveries", kContext);
       hs.decode_errors = member_u64(h, "decode_errors", kContext);
+      // Absent in documents from pre-auth nodes: default 0, not an error.
+      if (h.find("auth_rejects") != nullptr) {
+        hs.auth_rejects = member_u64(h, "auth_rejects", kContext);
+      }
       if (const util::Json* cluster = h.find("cluster"); cluster != nullptr) {
         if (cluster->type != util::Json::Type::kArray) {
           throw std::invalid_argument("status: 'cluster' must be an array");

@@ -54,6 +54,7 @@ struct HostStatus {
   std::int64_t max_seq{0};       // seq watermark
   std::uint64_t deliveries{0};   // first receipts handed to the app
   std::uint64_t decode_errors{0};
+  std::uint64_t auth_rejects{0};  // frames dropped by per-source auth
   std::vector<std::int64_t> cluster;  // CLUSTER_i view, sorted
 };
 

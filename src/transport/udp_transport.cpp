@@ -122,6 +122,20 @@ const UdpTransport::PeerState* UdpTransport::find_peer(HostId host) const {
   return nullptr;
 }
 
+bool UdpTransport::known_source(const sockaddr_in& src) const {
+  if (src.sin_family != AF_INET) return false;
+  for (const auto& state : peers_) {
+    // Port 0 means "not yet learned" (set_peer_port fills it in later);
+    // such an entry cannot vouch for any sender.
+    if (state->peer.port == 0) continue;
+    if (state->sa.sin_addr.s_addr == src.sin_addr.s_addr &&
+        state->sa.sin_port == src.sin_port) {
+      return true;
+    }
+  }
+  return false;
+}
+
 net::HostEndpoint& UdpTransport::attach(HostId host, net::DeliveryFn deliver) {
   RBCAST_CHECK_ARG(deliver != nullptr, "udp transport: null delivery fn");
   RBCAST_CHECK_ARG(bindings_.find(host.value) == bindings_.end(),
@@ -297,10 +311,12 @@ void UdpTransport::on_readable(Binding& binding) {
   // Drain the socket: poll() is level-triggered but each wakeup costs a
   // loop iteration, so take everything available now.
   while (true) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
     const ssize_t n =
-        recv_fn_ ? recv_fn_(binding.fd, buf, sizeof(buf))
-                 : ::recvfrom(binding.fd, buf, sizeof(buf), 0, nullptr,
-                              nullptr);
+        recv_fn_ ? recv_fn_(binding.fd, buf, sizeof(buf), &src)
+                 : ::recvfrom(binding.fd, buf, sizeof(buf), 0,
+                              reinterpret_cast<sockaddr*>(&src), &src_len);
     if (n < 0) {
       // A signal mid-call left the datagram in the queue: retry now
       // instead of waiting for the next poll wakeup.
@@ -314,6 +330,15 @@ void UdpTransport::on_readable(Binding& binding) {
       return;
     }
     ++stats_.datagrams_received;
+    // Source filter: only configured peer bindings may speak to us. The
+    // check runs BEFORE any frame decoding, so an unsolicited sender gets
+    // no parser surface at all. (UDP sources are spoofable, so this is
+    // hygiene and blast-radius reduction, not authentication — that is
+    // the codec-level auth tag's job.)
+    if (!known_source(src)) {
+      ++stats_.recv_unknown_peer;
+      continue;
+    }
     auto frames = decode_datagram(buf, static_cast<std::size_t>(n));
     if (!frames.has_value()) {
       ++stats_.frame_decode_errors;
@@ -408,6 +433,9 @@ void UdpTransport::register_metrics(util::MetricsRegistry& registry) {
        &Stats::send_errors},
       {"transport.recv_errors", "Hard recvfrom errors",
        &Stats::recv_errors},
+      {"transport.recv_unknown_peer",
+       "Datagrams dropped: source is not a configured peer binding",
+       &Stats::recv_unknown_peer},
       {"transport.impair_drops", "Frames dropped by the impairment shim",
        &Stats::impair_drops},
       {"transport.impair_duplicates",

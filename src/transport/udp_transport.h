@@ -21,6 +21,8 @@
 // and drop it.
 #pragma once
 
+#include <netinet/in.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -70,6 +72,10 @@ class UdpTransport final : public Transport {
     // Hard recvfrom errors (not EAGAIN/EWOULDBLOCK, not EINTR): counted
     // so a sick socket is distinguishable from a drained one.
     std::uint64_t recv_errors{0};
+    // Datagrams whose source (address, port) matches no configured peer
+    // binding: dropped before any decoding — an unsolicited sender gets
+    // no parser surface at all, only this counter.
+    std::uint64_t recv_unknown_peer{0};
     // Impairment stats count CONTAINED FRAMES, not datagrams: dropping a
     // batch of 5 loses 5 frames, and the sim-vs-real comparison reasons
     // about frames. (With batching off the two units coincide.)
@@ -122,10 +128,14 @@ class UdpTransport final : public Transport {
   void register_metrics(util::MetricsRegistry& registry);
 
   // Test seam for the receive loop: replaces ::recvfrom so regression
-  // tests can inject EINTR, EAGAIN and hard errno values. The callable
-  // must behave like recvfrom(fd, buf, len, 0, nullptr, nullptr):
-  // return the datagram size, or -1 with errno set.
-  using RecvFn = std::function<ssize_t(int fd, void* buf, std::size_t len)>;
+  // tests can inject EINTR, EAGAIN, hard errno values and spoofed source
+  // addresses. The callable must behave like recvfrom(fd, buf, len, 0,
+  // (sockaddr*)src, ...): return the datagram size (filling `src` with
+  // the claimed sender, which the unknown-peer filter then judges), or -1
+  // with errno set. A callable that leaves `src` untouched simulates an
+  // unconfigured sender (the struct arrives zeroed).
+  using RecvFn = std::function<ssize_t(int fd, void* buf, std::size_t len,
+                                       sockaddr_in* src)>;
   void set_recv_fn_for_test(RecvFn fn) { recv_fn_ = std::move(fn); }
 
  private:
@@ -148,6 +158,8 @@ class UdpTransport final : public Transport {
   void deliver_frame(Binding& binding, Frame frame, std::size_t wire_bytes);
   [[nodiscard]] PeerState* find_peer(HostId host);
   [[nodiscard]] const PeerState* find_peer(HostId host) const;
+  // True when `src` matches a configured peer binding with a known port.
+  [[nodiscard]] bool known_source(const sockaddr_in& src) const;
 
   util::RealTimeScheduler& scheduler_;
   const PayloadCodec& codec_;

@@ -114,6 +114,7 @@ StatusDoc sample_doc() {
   h.max_seq = 20;
   h.deliveries = 20;
   h.decode_errors = 1;
+  h.auth_rejects = 2;
   h.cluster = {0, 3, 4};
   doc.hosts.push_back(h);
   util::MetricSnapshot counter;
@@ -154,6 +155,7 @@ TEST(StatusJson, RoundTripsThroughUtilJson) {
   EXPECT_EQ(parsed.hosts[0].max_seq, 20);
   EXPECT_EQ(parsed.hosts[0].deliveries, 20u);
   EXPECT_EQ(parsed.hosts[0].decode_errors, 1u);
+  EXPECT_EQ(parsed.hosts[0].auth_rejects, 2u);
   EXPECT_EQ(parsed.hosts[0].cluster, (std::vector<std::int64_t>{0, 3, 4}));
   ASSERT_EQ(parsed.metrics.size(), 3u);
   EXPECT_EQ(parsed.metrics[0].counter, 123u);
@@ -165,6 +167,15 @@ TEST(StatusJson, RoundTripsThroughUtilJson) {
 
   // Serialization is byte-stable: render(parse(render(x))) == render(x).
   EXPECT_EQ(status_json(parsed), text);
+}
+
+TEST(StatusJson, ParserDefaultsAuthRejectsForPreAuthNodes) {
+  // A /status document from a node built before the auth field existed
+  // must parse cleanly with auth_rejects == 0.
+  const StatusDoc parsed = parse_status_json(
+      "{\"hosts\":[{\"id\":1,\"deliveries\":3,\"decode_errors\":0}]}");
+  ASSERT_EQ(parsed.hosts.size(), 1u);
+  EXPECT_EQ(parsed.hosts[0].auth_rejects, 0u);
 }
 
 TEST(StatusJson, ParserRejectsMalformedDocuments) {

@@ -150,5 +150,36 @@ TEST(InvariantMonitor, LivenessRequiresPostQuiescenceBroadcast) {
   EXPECT_TRUE(e.monitor()->ok());
 }
 
+TEST(ContainmentReport, ContainedMeansNoCorruptionPastDirectEdges) {
+  harness::ContainmentReport r;
+  // No adversary, nothing corrupted: trivially contained.
+  EXPECT_TRUE(r.contained());
+
+  r.byzantine = {HostId{2}};
+  r.corrupted_hosts = {HostId{3}};
+  r.max_hops = 1;
+  r.hosts_by_hops = {{1, 1}};
+  // Direct neighbors of a liar may see bad frames; that is the best any
+  // defense at the receiver can do.
+  EXPECT_TRUE(r.contained());
+
+  r.corrupted_hosts.insert(HostId{5});
+  r.max_hops = 2;
+  r.hosts_by_hops[2] = 1;
+  EXPECT_FALSE(r.contained());
+}
+
+TEST(ContainmentReport, ToStringListsEveryField) {
+  harness::ContainmentReport r;
+  r.byzantine = {HostId{1}, HostId{8}};
+  r.corrupted_hosts = {HostId{3}};
+  r.max_hops = 2;
+  r.hosts_by_hops = {{2, 1}};
+  r.invariants = {"I2", "I3"};
+  EXPECT_EQ(to_string(r),
+            "byzantine={1,8} corrupted={3} max_hops=2 by_hops={2:1} "
+            "invariants=[I2,I3] contained=no");
+}
+
 }  // namespace
 }  // namespace rbcast

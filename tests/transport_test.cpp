@@ -137,6 +137,23 @@ TEST(UdpTransport, GarbageDatagramsAreCountedAndDropped) {
   });
   net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
 
+  // The raw datagrams below come from an ad-hoc socket, which the
+  // unknown-peer filter would rightly drop; spoof their source as peer 0
+  // so the decode paths under test are reached.
+  udp.set_recv_fn_for_test(
+      [&](int fd, void* buf, std::size_t len, sockaddr_in* src) -> ssize_t {
+        socklen_t src_len = sizeof(*src);
+        const ssize_t n = ::recvfrom(fd, buf, len, 0,
+                                     reinterpret_cast<sockaddr*>(src),
+                                     &src_len);
+        if (n >= 0) {
+          src->sin_family = AF_INET;
+          ::inet_pton(AF_INET, "127.0.0.1", &src->sin_addr);
+          src->sin_port = htons(udp.local_port(HostId{0}));
+        }
+        return n;
+      });
+
   // A frame-level corruption: valid payload, then scribble on the magic.
   core::DataMsg data;
   data.seq = 1;
@@ -286,13 +303,15 @@ TEST(UdpTransport, RecvLoopRetriesImmediatelyAfterEintr) {
   // once (the datagram is still queued), not bail out or count an error.
   int eintrs = 0;
   udp.set_recv_fn_for_test(
-      [&](int fd, void* buf, std::size_t len) -> ssize_t {
+      [&](int fd, void* buf, std::size_t len, sockaddr_in* src) -> ssize_t {
         if (eintrs == 0) {
           ++eintrs;
           errno = EINTR;
           return -1;
         }
-        return ::recvfrom(fd, buf, len, 0, nullptr, nullptr);
+        socklen_t src_len = sizeof(*src);
+        return ::recvfrom(fd, buf, len, 0, reinterpret_cast<sockaddr*>(src),
+                          &src_len);
       });
 
   core::DataMsg data;
@@ -316,11 +335,12 @@ TEST(UdpTransport, RecvLoopTreatsEagainAsDrainedNotAsAnError) {
   net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
 
   int calls = 0;
-  udp.set_recv_fn_for_test([&](int, void*, std::size_t) -> ssize_t {
-    ++calls;
-    errno = EAGAIN;
-    return -1;
-  });
+  udp.set_recv_fn_for_test(
+      [&](int, void*, std::size_t, sockaddr_in*) -> ssize_t {
+        ++calls;
+        errno = EAGAIN;
+        return -1;
+      });
 
   // A real datagram parks in the socket buffer so poll keeps reporting
   // readable; the fake recv never hands it over.
@@ -353,13 +373,15 @@ TEST(UdpTransport, HardRecvErrorsAreCountedAndTheTransportSurvives) {
   // must not kill the transport: the next wakeup still drains the queue.
   int hard_errors = 0;
   udp.set_recv_fn_for_test(
-      [&](int fd, void* buf, std::size_t len) -> ssize_t {
+      [&](int fd, void* buf, std::size_t len, sockaddr_in* src) -> ssize_t {
         if (hard_errors == 0) {
           ++hard_errors;
           errno = EBADF;
           return -1;
         }
-        return ::recvfrom(fd, buf, len, 0, nullptr, nullptr);
+        socklen_t src_len = sizeof(*src);
+        return ::recvfrom(fd, buf, len, 0, reinterpret_cast<sockaddr*>(src),
+                          &src_len);
       });
 
   core::DataMsg data;
@@ -370,6 +392,69 @@ TEST(UdpTransport, HardRecvErrorsAreCountedAndTheTransportSurvives) {
   EXPECT_EQ(hard_errors, 1);
   EXPECT_EQ(udp.stats().recv_errors, 1u);
   EXPECT_EQ(delivered, 1);  // the queued datagram was still delivered
+}
+
+TEST(UdpTransport, DropsDatagramsFromUnknownSourceAddresses) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) { ++delivered; });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  // Receive the real datagram but claim it came from an address that is
+  // in no peer binding: the frame must be dropped before decoding, counted
+  // only in recv_unknown_peer.
+  udp.set_recv_fn_for_test(
+      [&](int fd, void* buf, std::size_t len, sockaddr_in* src) -> ssize_t {
+        socklen_t src_len = sizeof(*src);
+        const ssize_t n = ::recvfrom(fd, buf, len, 0,
+                                     reinterpret_cast<sockaddr*>(src),
+                                     &src_len);
+        if (n >= 0) {
+          src->sin_family = AF_INET;
+          ::inet_pton(AF_INET, "203.0.113.9", &src->sin_addr);
+          src->sin_port = htons(4444);
+        }
+        return n;
+      });
+
+  core::DataMsg data;
+  data.seq = 1;
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  rt.after(util::milliseconds(150), [&] { rt.stop(); });
+  rt.run_for(util::seconds(2));
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(udp.stats().recv_unknown_peer, 1u);
+  EXPECT_EQ(udp.stats().frame_decode_errors, 0u);  // never reached the parser
+}
+
+TEST(UdpTransport, ZeroedSourceAddressCountsAsUnknownPeer) {
+  util::RealTimeScheduler rt;
+  const core::ProtocolCodec codec;
+  UdpTransport udp(rt, codec, two_host_config());
+
+  int delivered = 0;
+  udp.attach(HostId{1}, [&](const net::Delivery&) { ++delivered; });
+  net::HostEndpoint& ep0 = udp.attach(HostId{0}, [](const net::Delivery&) {});
+
+  // A recv seam that never fills `src` models a sender the kernel could
+  // not attribute: the zeroed struct must not match any peer.
+  udp.set_recv_fn_for_test(
+      [&](int fd, void* buf, std::size_t len, sockaddr_in*) -> ssize_t {
+        return ::recvfrom(fd, buf, len, 0, nullptr, nullptr);
+      });
+
+  core::DataMsg data;
+  data.seq = 1;
+  ep0.send(HostId{1}, std::any{core::ProtocolMessage{data}}, 16, "data", 0);
+  rt.after(util::milliseconds(150), [&] { rt.stop(); });
+  rt.run_for(util::seconds(2));
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(udp.stats().recv_unknown_peer, 1u);
 }
 
 // --- UdpTransport batching --------------------------------------------------

@@ -1,0 +1,67 @@
+# End-to-end Byzantine smoke driven by the byzantine_cli_smoke ctest:
+#   1. the defended spec (auth on, data-plane adversary) must come back
+#      clean and contained on every seed,
+#   2. the undefended known-bad spec must be caught with a /byzantine
+#      signature, shrunk, and written as repro.json with its adversary
+#      schedule (byz_* events) inside,
+#   3. rbcast_sim --chaos-spec must replay the repro to the same
+#      violation, deterministically (two replays, identical output).
+set(out_dir ${WORK_DIR}/byzantine_smoke)
+file(MAKE_DIRECTORY ${out_dir})
+
+execute_process(
+  COMMAND ${RBCAST_CHAOS} --spec ${GOOD_SPEC} --runs 8 --seed 1
+          --out ${out_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "defended byzantine runs not clean (${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "all 8 chaos runs clean")
+  message(FATAL_ERROR "unexpected rbcast_chaos output:\n${out}")
+endif()
+if(NOT out MATCHES "contained=yes")
+  message(FATAL_ERROR "defended run not contained:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${RBCAST_CHAOS} --spec ${BAD_SPEC} --runs 1 --seed 1
+          --shrink-attempts 60 --out ${out_dir}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "known-bad byzantine spec should exit 1, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "VIOLATION \\(signature [A-Z0-9]+/byzantine\\)")
+  message(FATAL_ERROR "violation lacks a /byzantine signature:\n${out}")
+endif()
+if(NOT out MATCHES "contained=no")
+  message(FATAL_ERROR "undefended violation reported as contained:\n${out}")
+endif()
+if(NOT EXISTS ${out_dir}/repro.json OR NOT EXISTS ${out_dir}/repro.jsonl)
+  message(FATAL_ERROR "repro artifacts missing in ${out_dir}")
+endif()
+file(READ ${out_dir}/repro.json repro)
+if(NOT repro MATCHES "\"byz_")
+  message(FATAL_ERROR
+    "shrunk repro lost its adversary schedule:\n${repro}")
+endif()
+
+# Violation text can contain semicolons, so plain variables, not lists.
+foreach(attempt first second)
+  execute_process(
+    COMMAND ${RBCAST_SIM} --chaos-spec ${out_dir}/repro.json --chaos-seed 1
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "repro replay should exit 1 (violation), got ${rc}:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "invariant violations:")
+    message(FATAL_ERROR "replay output lacks violations:\n${out}")
+  endif()
+  set(${attempt} "${out}")
+endforeach()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR
+    "replay is not deterministic:\n--- first ---\n${first}\n--- second ---\n${second}")
+endif()
+message(STATUS "byzantine smoke passed: ${out_dir}")

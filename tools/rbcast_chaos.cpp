@@ -163,12 +163,23 @@ int main(int argc, char** argv) {
     if (!result.violated()) {
       std::cout << "run " << k << " seed=" << seed << " ok"
                 << (result.delivered_all ? "" : " (incomplete)")
-                << " completion=" << result.completion_s << "s\n";
+                << " completion=" << result.completion_s << "s";
+      if (!result.containment.byzantine.empty()) {
+        std::cout << " auth_rejects=" << result.auth_rejects << " "
+                  << to_string(result.containment);
+      }
+      std::cout << "\n";
       continue;
     }
 
-    std::cout << "run " << k << " seed=" << seed << " VIOLATION\n";
+    std::cout << "run " << k << " seed=" << seed << " VIOLATION (signature "
+              << harness::violation_signature(result.violations.front())
+              << ")\n";
     std::cout << "  " << result.manifest << "\n";
+    if (!result.containment.byzantine.empty()) {
+      std::cout << "  auth_rejects=" << result.auth_rejects << " "
+                << to_string(result.containment) << "\n";
+    }
     print_violations(result.violations);
 
     harness::ChaosSpec repro = harness::concretize(spec, seed);

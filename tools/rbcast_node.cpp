@@ -456,6 +456,7 @@ int main(int argc, char** argv) {
           hs.max_seq = host->info().max_seq();
           hs.deliveries = host->counters().deliveries;
           hs.decode_errors = host->counters().decode_errors;
+          hs.auth_rejects = host->counters().auth_rejects;
           for (const HostId j : host->state().cluster()) {
             hs.cluster.push_back(j.value);
           }

@@ -237,6 +237,7 @@ struct Sample {
   std::uint64_t orphans{0};
   std::uint64_t leaders{0};
   std::uint64_t decode_errors{0};
+  std::uint64_t auth_rejects{0};
   std::int64_t messages_expected{0};
   double now_s{0};
   // delivery.latency_seconds, summed across label sets.
@@ -276,6 +277,7 @@ Sample poll_endpoint(const std::string& endpoint, int timeout_ms) {
     }
     s.deliveries += h.deliveries;
     s.decode_errors += h.decode_errors;
+    s.auth_rejects += h.auth_rejects;
     if (h.orphan) ++s.orphans;
     if (h.leader) ++s.leaders;
   }
@@ -360,6 +362,7 @@ Fleet aggregate(const std::vector<Sample>& samples) {
     f.sum.orphans += s.orphans;
     f.sum.leaders += s.leaders;
     f.sum.decode_errors += s.decode_errors;
+    f.sum.auth_rejects += s.auth_rejects;
     f.sum.frames_enqueued += s.frames_enqueued;
     f.sum.batches_flushed += s.batches_flushed;
     if (s.lat_bounds.empty()) continue;
@@ -405,7 +408,8 @@ void render_table(const Options& options, const std::vector<Sample>& current,
             << "\n\n";
 
   util::Table table({"endpoint", "hosts", "ready", "deliv", "deliv/s",
-                     "p99_ms", "fr/dgram", "orph", "lead", "decode_err"});
+                     "p99_ms", "fr/dgram", "orph", "lead", "decode_err",
+                     "auth.rejects"});
   auto rate_cell = [&](std::uint64_t cur, std::uint64_t prev,
                        bool have_prev) -> std::string {
     if (dt_s <= 0 || !have_prev) return "-";
@@ -419,7 +423,7 @@ void render_table(const Options& options, const std::vector<Sample>& current,
     if (!s.reachable) {
       table.row().cell(options.endpoints[i]).cell("-").cell(
           "DOWN: " + s.error);
-      for (int c = 0; c < 7; ++c) table.cell("-");
+      for (int c = 0; c < 8; ++c) table.cell("-");
       continue;
     }
     const Sample& p = i < previous.size() ? previous[i] : kNoSample;
@@ -433,7 +437,8 @@ void render_table(const Options& options, const std::vector<Sample>& current,
         .cell(fmt_ratio(s.frames_enqueued, s.batches_flushed))
         .cell(s.orphans)
         .cell(s.leaders)
-        .cell(s.decode_errors);
+        .cell(s.decode_errors)
+        .cell(s.auth_rejects);
   }
   if (current.size() > 1) {
     table.row()
@@ -447,7 +452,8 @@ void render_table(const Options& options, const std::vector<Sample>& current,
         .cell(fmt_ratio(fleet.sum.frames_enqueued, fleet.sum.batches_flushed))
         .cell(fleet.sum.orphans)
         .cell(fleet.sum.leaders)
-        .cell(fleet.sum.decode_errors);
+        .cell(fleet.sum.decode_errors)
+        .cell(fleet.sum.auth_rejects);
   }
   table.print(std::cout);
   std::cout << std::flush;
@@ -477,7 +483,8 @@ void render_json(const Options& options, const std::vector<Sample>& current,
        << ",\"converged_hosts\":" << s.converged_hosts
        << ",\"deliveries\":" << s.deliveries << ",\"orphans\":" << s.orphans
        << ",\"leaders\":" << s.leaders
-       << ",\"decode_errors\":" << s.decode_errors << "}";
+       << ",\"decode_errors\":" << s.decode_errors
+       << ",\"auth_rejects\":" << s.auth_rejects << "}";
   }
   os << "],\"fleet\":{\"endpoints\":" << options.endpoints.size()
      << ",\"reachable\":" << fleet.reachable
@@ -491,6 +498,7 @@ void render_json(const Options& options, const std::vector<Sample>& current,
      << ",\"orphans\":" << fleet.sum.orphans
      << ",\"leaders\":" << fleet.sum.leaders
      << ",\"decode_errors\":" << fleet.sum.decode_errors
+     << ",\"auth_rejects\":" << fleet.sum.auth_rejects
      << ",\"p99_s\":" << fmt_json_double(delta_p99(fleet_prev.sum, fleet.sum))
      << ",\"frames_per_datagram\":"
      << (fleet.sum.batches_flushed == 0
